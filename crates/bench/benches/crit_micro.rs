@@ -1,0 +1,162 @@
+//! MICRO — criterion micro-benchmarks for the cost model terms of §VI:
+//! τ_g and τ_l (per-kind proposal + evaluation cost), the coverage-grid
+//! delta operations behind them, the tile duplicate/merge overhead term,
+//! and the dispatch latencies of the two runtime substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmcmc_core::moves::propose;
+use pmcmc_core::sampler::evaluate_proposal;
+use pmcmc_core::{
+    Configuration, ModelParams, MoveKind, MoveWeights, NucleiModel, Sampler, TileWorkspace,
+    Xoshiro256,
+};
+use pmcmc_imaging::synth::{generate, SceneSpec};
+use pmcmc_imaging::{IntegralImage, Rect};
+use pmcmc_runtime::{SpinTeam, WorkerPool};
+use std::hint::black_box;
+
+fn workload() -> (NucleiModel, Configuration) {
+    let spec = SceneSpec {
+        width: 512,
+        height: 512,
+        n_circles: 60,
+        radius_mean: 10.0,
+        radius_sd: 1.5,
+        radius_min: 5.0,
+        radius_max: 18.0,
+        noise_sd: 0.05,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(1);
+    let scene = generate(&spec, &mut rng);
+    let img = scene.render(&mut rng);
+    let mut params = ModelParams::new(512, 512, 60.0, 10.0);
+    params.noise_sd = 0.15;
+    let model = NucleiModel::new(&img, params);
+    // A converged state so proposal costs are representative.
+    let config = {
+        let mut s = Sampler::new(&model, 2);
+        s.run(50_000);
+        s.config
+    };
+    (model, config)
+}
+
+fn bench_moves(c: &mut Criterion) {
+    let (model, config) = workload();
+    let weights = MoveWeights::default();
+    let mut group = c.benchmark_group("move_propose_evaluate");
+    for kind in MoveKind::ALL {
+        let mut rng = Xoshiro256::new(7);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                if let Some(p) = propose(kind, &config, &model, &weights, &mut rng) {
+                    black_box(evaluate_proposal(&config, &model, &p));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampler_step(c: &mut Criterion) {
+    let (model, config) = workload();
+    let mut group = c.benchmark_group("sampler");
+    group.bench_function("full_step", |b| {
+        let mut s = Sampler::with_config(&model, config.clone(), Xoshiro256::new(3));
+        b.iter(|| {
+            black_box(s.step());
+        });
+    });
+    group.bench_function("global_step", |b| {
+        let mut s = Sampler::with_config(&model, config.clone(), Xoshiro256::new(3));
+        s.set_weights(MoveWeights::default().global_only());
+        b.iter(|| {
+            black_box(s.step());
+        });
+    });
+    group.bench_function("local_step", |b| {
+        let mut s = Sampler::with_config(&model, config.clone(), Xoshiro256::new(3));
+        s.set_weights(MoveWeights::default().local_only());
+        b.iter(|| {
+            black_box(s.step());
+        });
+    });
+    group.finish();
+}
+
+fn bench_tile_overhead(c: &mut Criterion) {
+    let (model, config) = workload();
+    let mut group = c.benchmark_group("tile_overhead");
+    let quarter = Rect::new(0, 0, 256, 256);
+    group.bench_function("duplicate_quarter", |b| {
+        b.iter(|| black_box(TileWorkspace::new(&config, &model, quarter)));
+    });
+    group.bench_function("merge_quarter", |b| {
+        let ws = TileWorkspace::new(&config, &model, quarter);
+        let mut master = config.clone();
+        b.iter(|| {
+            master.absorb_tile(black_box(&ws));
+        });
+    });
+    group.bench_function("tile_local_step", |b| {
+        let mut ws = TileWorkspace::new(&config, &model, quarter);
+        let mut rng = Xoshiro256::new(5);
+        b.iter(|| {
+            black_box(ws.local_step(0.5, &model, &mut rng));
+        });
+    });
+    group.finish();
+}
+
+fn bench_imaging(c: &mut Criterion) {
+    let spec = SceneSpec {
+        width: 512,
+        height: 512,
+        n_circles: 60,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(1);
+    let scene = generate(&spec, &mut rng);
+    let img = scene.render(&mut rng);
+    let mut group = c.benchmark_group("imaging");
+    group.bench_function("integral_image_512", |b| {
+        b.iter(|| black_box(IntegralImage::new(&img)));
+    });
+    group.bench_function("threshold_512", |b| {
+        b.iter(|| black_box(pmcmc_imaging::filter::threshold(&img, 0.5)));
+    });
+    group.finish();
+}
+
+fn bench_runtime_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_dispatch");
+    let pool = WorkerPool::new(4);
+    group.bench_function("pool_batch_4_trivial", |b| {
+        b.iter(|| {
+            let tasks: Vec<(f64, Box<dyn FnOnce() -> u64 + Send>)> = (0..4u64)
+                .map(|i| (1.0, Box::new(move || i) as Box<dyn FnOnce() -> u64 + Send>))
+                .collect();
+            black_box(pool.run_batch(tasks));
+        });
+    });
+    let team = SpinTeam::new(4);
+    group.bench_function("spin_team_round_4", |b| {
+        b.iter(|| {
+            team.broadcast(|id| {
+                black_box(id);
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_moves,
+    bench_sampler_step,
+    bench_tile_overhead,
+    bench_imaging,
+    bench_runtime_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! FIG1 — "Predicted results for periodic parallelisation, τ_g = τ_l"
+//! (paper Fig. 1): runtime as a fraction of sequential runtime versus the
+//! global move proposal probability `q_g`, for 2/4/8/16 processes.
+//!
+//! Pure theory (eq. 2); this bench prints the exact series the figure
+//! plots, as CSV suitable for replotting.
+
+use pmcmc_bench::print_header;
+use pmcmc_parallel::report::Table;
+use pmcmc_parallel::theory::{eq2_fraction, fig1_series};
+
+fn main() {
+    print_header("FIG1: eq.(2) runtime fraction vs q_g", "Fig. 1, §VI");
+
+    let s_values = [2usize, 4, 8, 16];
+    let series = fig1_series(&s_values, 50);
+
+    let mut table = Table::new(
+        "Fig. 1 series (runtime fraction of sequential, tau_g = tau_l)",
+        &["qg", "s=2", "s=4", "s=8", "s=16"],
+    );
+    for point in &series {
+        let mut row = vec![format!("{:.2}", point.qg)];
+        row.extend(point.fractions.iter().map(|f| format!("{f:.4}")));
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+
+    // Anchor values called out in the paper's discussion.
+    println!(
+        "check: qg=0.4, s=4 -> {:.2} (§VII predicts a 45% reduction, i.e. 0.55)",
+        eq2_fraction(0.4, 4)
+    );
+    println!(
+        "check: qg=0.0, s=16 -> {:.4} (perfect 1/16 scaling)",
+        eq2_fraction(0.0, 16)
+    );
+    println!(
+        "check: qg=1.0, any s -> {:.2} (no parallelisable work)",
+        eq2_fraction(1.0, 2)
+    );
+
+    println!("\nCSV:\nqg,s2,s4,s8,s16");
+    for p in &series {
+        println!(
+            "{:.2},{:.4},{:.4},{:.4},{:.4}",
+            p.qg, p.fractions[0], p.fractions[1], p.fractions[2], p.fractions[3]
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! # pmcmc-bench
+//!
+//! Shared workload builders and configuration for the bench harnesses.
+//! Every table and figure of the paper has a dedicated bench target (see
+//! `benches/`); each prints the same rows/series the paper reports, plus
+//! the paper's published values for side-by-side comparison.
+//!
+//! Scale knobs (environment variables):
+//!
+//! * `PMCMC_BENCH_QUICK=1` — shrink workloads for smoke runs;
+//! * `PMCMC_BENCH_ITERS` — override the iteration budget of the §VII
+//!   workload (default 300 000; the paper used 500 000);
+//! * `PMCMC_BENCH_REPEATS` — repetitions for averaged tables (default 5;
+//!   the paper's Table I averaged 20 runs).
+
+#![warn(missing_docs)]
+
+use pmcmc_core::{ModelParams, NucleiModel, Xoshiro256};
+use pmcmc_imaging::synth::{generate, generate_packed_clusters, ClusterSpec, Scene, SceneSpec};
+use pmcmc_imaging::{Circle, GrayImage};
+
+/// Whether quick (smoke) mode is requested.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("PMCMC_BENCH_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
+/// Iteration budget for the §VII workload.
+#[must_use]
+pub fn bench_iters() -> u64 {
+    std::env::var("PMCMC_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick_mode() { 60_000 } else { 300_000 })
+}
+
+/// Repetitions for averaged tables.
+#[must_use]
+pub fn bench_repeats() -> usize {
+    std::env::var("PMCMC_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick_mode() { 2 } else { 5 })
+}
+
+/// A fully prepared workload: image, ground truth and model.
+pub struct Workload {
+    /// The rendered input image.
+    pub image: GrayImage,
+    /// Ground-truth circles.
+    pub truth: Vec<Circle>,
+    /// The Bayesian model over `image`.
+    pub model: NucleiModel,
+    /// The scene descriptor used.
+    pub scene: Scene,
+}
+
+/// The §VII workload: "a 1024×1024 image containing 150 cells of mean
+/// radius 10", `q_g = 0.4`. Quick mode shrinks it to 512² / 60 cells.
+#[must_use]
+pub fn section7_workload(seed: u64) -> Workload {
+    let spec = if quick_mode() {
+        SceneSpec {
+            width: 512,
+            height: 512,
+            n_circles: 60,
+            radius_mean: 10.0,
+            radius_sd: 1.5,
+            radius_min: 5.0,
+            radius_max: 18.0,
+            noise_sd: 0.05,
+            ..SceneSpec::default()
+        }
+    } else {
+        SceneSpec {
+            noise_sd: 0.05,
+            ..SceneSpec::paper_section7()
+        }
+    };
+    build(spec.clone(), None, seed)
+}
+
+/// The Fig. 3 / Table I bead dish: 48 beads in three *densely packed*
+/// clumps of 6, 38 and 4 (beads touching, like the paper's latex beads)
+/// separated by wide empty corridors, so the intelligent partitioner
+/// yields a small partition A, a dominant B and a small C.
+#[must_use]
+pub fn table1_workload(seed: u64) -> Workload {
+    let (w, h) = (512u32, 512u32);
+    let spec = SceneSpec {
+        width: w,
+        height: h,
+        radius_mean: 9.0,
+        radius_sd: 0.4,
+        radius_min: 6.0,
+        radius_max: 13.0,
+        noise_sd: 0.04,
+        ..SceneSpec::default()
+    };
+    let clusters = [
+        // A: small clump top-left.
+        ClusterSpec {
+            cx: 90.0,
+            cy: 90.0,
+            n: 6,
+            spread: 0.0,
+        },
+        // B: dominant clump centre-right.
+        ClusterSpec {
+            cx: 350.0,
+            cy: 260.0,
+            n: 38,
+            spread: 0.0,
+        },
+        // C: small clump bottom-left.
+        ClusterSpec {
+            cx: 100.0,
+            cy: 430.0,
+            n: 4,
+            spread: 0.0,
+        },
+    ];
+    build(spec, Some(clusters.to_vec()), seed)
+}
+
+fn build(spec: SceneSpec, clusters: Option<Vec<ClusterSpec>>, seed: u64) -> Workload {
+    let mut rng = Xoshiro256::new(seed);
+    let scene = match &clusters {
+        Some(cl) => generate_packed_clusters(&spec, cl, 1.12, &mut rng),
+        None => generate(&spec, &mut rng),
+    };
+    let image = scene.render(&mut rng);
+    let mut params = ModelParams::new(
+        spec.width,
+        spec.height,
+        scene.circles.len() as f64,
+        spec.radius_mean,
+    );
+    // Give the model the scene's true radius range ("knowing the expected
+    // size ... of cells", §I); in particular this keeps one over-sized
+    // circle from explaining two touching beads.
+    params.radius_prior = pmcmc_core::math::TruncatedNormal::new(
+        spec.radius_mean,
+        spec.radius_sd.max(0.5),
+        spec.radius_min,
+        spec.radius_max,
+    );
+    params.noise_sd = 0.15;
+    let model = NucleiModel::new(&image, params);
+    Workload {
+        image,
+        truth: scene.circles.clone(),
+        model,
+        scene,
+    }
+}
+
+/// Prints the standard bench header with workload scale information.
+pub fn print_header(name: &str, paper_ref: &str) {
+    println!();
+    println!("################################################################");
+    println!("# {name}");
+    println!("# reproduces: {paper_ref}");
+    println!(
+        "# mode: {} (PMCMC_BENCH_QUICK={})",
+        if quick_mode() { "quick" } else { "full" },
+        u8::from(quick_mode())
+    );
+    println!("################################################################");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section7_workload_matches_spec() {
+        std::env::remove_var("PMCMC_BENCH_QUICK");
+        let w = section7_workload(1);
+        assert_eq!(w.image.width(), w.model.params.width);
+        assert!(!w.truth.is_empty());
+    }
+
+    #[test]
+    fn table1_workload_has_three_clumps_of_48() {
+        let w = table1_workload(1);
+        assert_eq!(w.truth.len(), 48);
+        // Rough cluster membership: count beads near each centre.
+        let near = |cx: f64, cy: f64, d: f64| {
+            w.truth
+                .iter()
+                .filter(|c| ((c.x - cx).powi(2) + (c.y - cy).powi(2)).sqrt() < d)
+                .count()
+        };
+        assert!(near(90.0, 90.0, 110.0) >= 5);
+        assert!(near(340.0, 250.0, 260.0) >= 30);
+        assert!(near(110.0, 430.0, 90.0) >= 3);
+    }
+}

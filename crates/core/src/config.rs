@@ -1,0 +1,682 @@
+//! The chain state: a circle configuration with incremental caches.
+//!
+//! `Configuration` owns the circle list, the coverage grid, the spatial
+//! index and two running sums (log-likelihood relative to the empty
+//! configuration, and total pairwise overlap area). All moves are applied
+//! through [`Edit`]s, which return a [`Receipt`] carrying the cache deltas
+//! needed by the Metropolis–Hastings ratio and enough information to build
+//! the exact inverse edit when a proposal is rejected.
+
+use crate::model::NucleiModel;
+use crate::coverage::CoverageGrid;
+use crate::spatial::SpatialGrid;
+use pmcmc_imaging::{Circle, Rect};
+
+/// A reversible state change: remove some circles (by index), then add some
+/// circles. Every move kind reduces to an `Edit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edit {
+    /// Indices of circles to remove (must be distinct).
+    pub remove: Vec<usize>,
+    /// Circles to add.
+    pub add: Vec<Circle>,
+}
+
+impl Edit {
+    /// An edit that only adds one circle.
+    #[must_use]
+    pub fn add_one(c: Circle) -> Self {
+        Self {
+            remove: Vec::new(),
+            add: vec![c],
+        }
+    }
+
+    /// An edit that only removes one circle.
+    #[must_use]
+    pub fn remove_one(i: usize) -> Self {
+        Self {
+            remove: vec![i],
+            add: Vec::new(),
+        }
+    }
+
+    /// An edit replacing circle `i` with `c`.
+    #[must_use]
+    pub fn replace_one(i: usize, c: Circle) -> Self {
+        Self {
+            remove: vec![i],
+            add: vec![c],
+        }
+    }
+
+    /// Net change in circle count.
+    #[must_use]
+    pub fn dimension_delta(&self) -> i64 {
+        self.add.len() as i64 - self.remove.len() as i64
+    }
+}
+
+/// The cache deltas and undo information produced by applying an [`Edit`].
+#[derive(Debug, Clone)]
+pub struct Receipt {
+    /// The circles that were removed (in removal order).
+    pub removed: Vec<Circle>,
+    /// How many circles were added (they sit at the end of the list).
+    pub n_added: usize,
+    /// Log-likelihood change.
+    pub d_log_lik: f64,
+    /// Pairwise-overlap-area change.
+    pub d_overlap: f64,
+}
+
+impl Receipt {
+    /// The edit that exactly undoes the applied edit. The restored circles
+    /// may land at different indices (configurations are sets; index
+    /// permutation is immaterial to the chain).
+    #[must_use]
+    pub fn inverse(&self, config_len_after: usize) -> Edit {
+        Edit {
+            remove: (config_len_after - self.n_added..config_len_after).collect(),
+            add: self.removed.clone(),
+        }
+    }
+}
+
+/// The mutable chain state.
+#[derive(Debug, Clone)]
+pub struct Configuration {
+    circles: Vec<Circle>,
+    coverage: CoverageGrid,
+    spatial: SpatialGrid,
+    log_lik: f64,
+    overlap_area: f64,
+}
+
+impl Configuration {
+    /// The empty configuration for `model`'s image.
+    #[must_use]
+    pub fn empty(model: &NucleiModel) -> Self {
+        let (w, h) = (model.params.width, model.params.height);
+        Self {
+            circles: Vec::new(),
+            coverage: CoverageGrid::new(Rect::of_image(w, h)),
+            spatial: SpatialGrid::new(w, h, 2.0 * model.r_max()),
+            log_lik: 0.0,
+            overlap_area: 0.0,
+        }
+    }
+
+    /// A configuration holding the given circles.
+    #[must_use]
+    pub fn from_circles(model: &NucleiModel, circles: &[Circle]) -> Self {
+        let mut cfg = Self::empty(model);
+        for &c in circles {
+            cfg.apply(
+                &Edit::add_one(c),
+                model,
+            );
+        }
+        cfg
+    }
+
+    /// A random initial state: `k ~ Poisson(λ)` circles with uniform
+    /// positions and prior radii ("a random configuration is generated and
+    /// used as the initial state of the Markov Chain" — §III).
+    #[must_use]
+    pub fn random_init(model: &NucleiModel, rng: &mut impl rand::Rng) -> Self {
+        let k = sample_poisson(model.params.expected_count, rng);
+        let mut circles = Vec::with_capacity(k);
+        for _ in 0..k {
+            circles.push(Circle::new(
+                rng.gen_range(0.0..f64::from(model.params.width)),
+                rng.gen_range(0.0..f64::from(model.params.height)),
+                model.params.radius_prior.sample(rng),
+            ));
+        }
+        Self::from_circles(model, &circles)
+    }
+
+    /// Number of circles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.circles.len()
+    }
+
+    /// Whether the configuration is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.circles.is_empty()
+    }
+
+    /// The circles.
+    #[must_use]
+    pub fn circles(&self) -> &[Circle] {
+        &self.circles
+    }
+
+    /// One circle.
+    #[must_use]
+    pub fn circle(&self, i: usize) -> Circle {
+        self.circles[i]
+    }
+
+    /// Log-likelihood relative to the empty configuration.
+    #[must_use]
+    pub const fn log_lik(&self) -> f64 {
+        self.log_lik
+    }
+
+    /// Total pairwise overlap (lens) area.
+    #[must_use]
+    pub const fn overlap_area(&self) -> f64 {
+        self.overlap_area
+    }
+
+    /// Read access to the coverage grid.
+    #[must_use]
+    pub const fn coverage(&self) -> &CoverageGrid {
+        &self.coverage
+    }
+
+    /// Log-prior of the configuration under `model` (Poisson point-process
+    /// count term + radius prior + uniform positions + overlap penalty).
+    ///
+    /// States are unordered sets, so the count term is the point-process
+    /// *set density* `k·ln λ − λ` — the `1/k!` of the Poisson pmf is
+    /// accounted for by the uniform selection probabilities in the move
+    /// proposal ratios (standard spatial birth–death convention; the count
+    /// *marginal* under this density is still Poisson(λ)).
+    #[must_use]
+    pub fn log_prior(&self, model: &NucleiModel) -> f64 {
+        let p = &model.params;
+        count_log_prior(self.len(), p.expected_count)
+            + self
+                .circles
+                .iter()
+                .map(|c| p.radius_prior.logpdf(c.r))
+                .sum::<f64>()
+            + self.len() as f64 * p.position_log_density()
+            - p.overlap_gamma * self.overlap_area
+    }
+
+    /// Log-posterior (up to the Gaussian normalisation constant, which is
+    /// configuration-independent).
+    #[must_use]
+    pub fn log_posterior(&self, model: &NucleiModel) -> f64 {
+        self.log_prior(model) + self.log_lik + model.gain.log_lik_empty()
+    }
+
+    /// Sum of lens areas between the hypothetical circle `c` and all
+    /// currently indexed circles except those in `exclude`.
+    #[must_use]
+    pub fn overlap_with(&self, c: &Circle, exclude: &[usize], model: &NucleiModel) -> f64 {
+        let mut total = 0.0;
+        self.spatial
+            .for_neighbors(c.x, c.y, c.r + model.r_max(), |id| {
+                if exclude.contains(&id) {
+                    return;
+                }
+                total += c.intersection_area(&self.circles[id]);
+            });
+        total
+    }
+
+    /// Applies an edit, updating all caches, and returns the receipt.
+    ///
+    /// # Panics
+    /// Panics if removal indices are out of range or duplicated.
+    pub fn apply(&mut self, edit: &Edit, model: &NucleiModel) -> Receipt {
+        let gain = &model.gain;
+        let mut d_log_lik = 0.0;
+        let mut d_overlap = 0.0;
+
+        // Remove in descending index order so earlier removals don't shift
+        // later indices.
+        let mut remove = edit.remove.clone();
+        remove.sort_unstable_by(|a, b| b.cmp(a));
+        for w in remove.windows(2) {
+            assert_ne!(w[0], w[1], "duplicate removal index");
+        }
+        let mut removed = Vec::with_capacity(remove.len());
+        for &i in &remove {
+            let c = self.circles[i];
+            // Pairs with all *still indexed* circles: pairs among removed
+            // circles are thereby counted exactly once.
+            d_overlap -= self.overlap_with(&c, &[i], model);
+            d_log_lik += self.coverage.remove_circle(&c, gain);
+            self.remove_at(i);
+            removed.push(c);
+        }
+        for &c in &edit.add {
+            d_overlap += self.overlap_with(&c, &[], model);
+            d_log_lik += self.coverage.add_circle(&c, gain);
+            let id = self.circles.len();
+            self.circles.push(c);
+            self.spatial.insert(id, &c);
+        }
+        self.log_lik += d_log_lik;
+        self.overlap_area += d_overlap;
+        Receipt {
+            removed,
+            n_added: edit.add.len(),
+            d_log_lik,
+            d_overlap,
+        }
+    }
+
+    /// Reverts a just-applied edit (rejected proposal).
+    pub fn revert(&mut self, receipt: &Receipt, model: &NucleiModel) {
+        let inverse = receipt.inverse(self.len());
+        let inv_receipt = self.apply(&inverse, model);
+        debug_assert!(
+            (inv_receipt.d_log_lik + receipt.d_log_lik).abs() < 1e-6,
+            "revert log-lik mismatch"
+        );
+    }
+
+    /// Pastes a tile's mutated coverage sub-grid back (tile merging).
+    pub(crate) fn paste_coverage(&mut self, sub: &CoverageGrid) {
+        self.coverage.paste(sub);
+    }
+
+    /// Overwrites circle `idx` (which must currently equal `old`) with
+    /// `new`, keeping the spatial index in sync. Used when merging tile
+    /// results, where the coverage/likelihood bookkeeping has already been
+    /// done by the tile worker.
+    pub(crate) fn update_circle_in_place(&mut self, idx: usize, old: Circle, new: Circle) {
+        debug_assert_eq!(self.circles[idx], old, "tile update against stale master");
+        self.spatial.relocate(idx, &old, &new);
+        self.circles[idx] = new;
+    }
+
+    /// Adds externally computed cache deltas (tile merging).
+    pub(crate) fn add_cache_deltas(&mut self, d_log_lik: f64, d_overlap: f64) {
+        self.log_lik += d_log_lik;
+        self.overlap_area += d_overlap;
+    }
+
+    fn remove_at(&mut self, i: usize) {
+        let c = self.circles[i];
+        self.spatial.remove(i, &c);
+        let last = self.circles.len() - 1;
+        if i != last {
+            let moved = self.circles[last];
+            self.spatial.rename(last, i, &moved);
+        }
+        self.circles.swap_remove(i);
+    }
+
+    /// Log-likelihood delta of `edit` computed **without mutating** the
+    /// configuration. Used by speculative moves, where several proposals of
+    /// the same state are evaluated concurrently ([11]) and must not touch
+    /// shared state, and by the sequential sampler (rejections never pay
+    /// for an apply + revert).
+    ///
+    /// A pixel's model value flips only when its cover count crosses 0↔1;
+    /// the hypothetical post-count is
+    /// `count − #removed disks covering it + #added disks covering it`.
+    #[must_use]
+    pub fn delta_log_lik_readonly(&self, edit: &Edit, model: &NucleiModel) -> f64 {
+        let gain = &model.gain;
+        let removed: Vec<Circle> = edit.remove.iter().map(|&i| self.circles[i]).collect();
+        let mut delta = 0.0;
+        let frame = self.coverage.rect();
+        // Visit the union of all affected disks, counting each pixel once:
+        // a pixel is handled by the first disk (in removed ++ added order)
+        // that covers it.
+        let all: Vec<&Circle> = removed.iter().chain(edit.add.iter()).collect();
+        for (di, disk) in all.iter().enumerate() {
+            crate::coverage::for_each_disk_pixel(disk, &frame, |x, y| {
+                if all[..di].iter().any(|d| d.covers_pixel(x, y)) {
+                    return; // already handled by an earlier disk
+                }
+                let count = i64::from(self.coverage.count(x, y));
+                let minus = removed.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
+                let plus = edit.add.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
+                let pre = count > 0;
+                let post = count - minus + plus > 0;
+                if pre != post {
+                    let g = gain.get(x as u32, y as u32);
+                    delta += if post { g } else { -g };
+                }
+            });
+        }
+        delta
+    }
+
+    /// Pairwise-overlap-area delta of `edit`, computed without mutating the
+    /// configuration. Matches the accounting of [`Configuration::apply`].
+    #[must_use]
+    pub fn delta_overlap_readonly(&self, edit: &Edit, model: &NucleiModel) -> f64 {
+        let mut d = 0.0;
+        // Pairs lost: removed × survivors, plus pairs among removed.
+        for (pos, &ri) in edit.remove.iter().enumerate() {
+            let c = self.circles[ri];
+            d -= self.overlap_with(&c, &edit.remove, model);
+            for &rj in &edit.remove[pos + 1..] {
+                d -= c.intersection_area(&self.circles[rj]);
+            }
+        }
+        // Pairs gained: added × survivors, plus pairs among added.
+        for (pos, a) in edit.add.iter().enumerate() {
+            d += self.overlap_with(a, &edit.remove, model);
+            for b in &edit.add[pos + 1..] {
+                d += a.intersection_area(b);
+            }
+        }
+        d
+    }
+
+    /// Number of close pairs (< `max_dist`) the configuration would have
+    /// after applying `edit`, computed without mutating it. Needed by the
+    /// split move's reverse-merge selection probability.
+    #[must_use]
+    pub fn count_close_pairs_after_edit(&self, edit: &Edit, max_dist: f64) -> usize {
+        let mut n = self.count_close_pairs(max_dist) as i64;
+        // Pairs lost with removed circles (removed-removed counted once).
+        for (pos, &ri) in edit.remove.iter().enumerate() {
+            let c = self.circles[ri];
+            self.spatial.for_neighbors(c.x, c.y, max_dist, |j| {
+                if j == ri {
+                    return;
+                }
+                let earlier_removed = edit.remove[..pos].contains(&j);
+                if !earlier_removed && c.centre_distance(&self.circles[j]) < max_dist {
+                    n -= 1;
+                }
+            });
+        }
+        // Pairs gained: added × survivors.
+        for (pos, a) in edit.add.iter().enumerate() {
+            self.spatial.for_neighbors(a.x, a.y, max_dist, |j| {
+                if !edit.remove.contains(&j) && a.centre_distance(&self.circles[j]) < max_dist {
+                    n += 1;
+                }
+            });
+            // Added × added.
+            for b in &edit.add[pos + 1..] {
+                if a.centre_distance(b) < max_dist {
+                    n += 1;
+                }
+            }
+        }
+        n.max(0) as usize
+    }
+
+    /// Counts unordered pairs of circles with centre distance below
+    /// `max_dist` (merge candidates).
+    #[must_use]
+    pub fn count_close_pairs(&self, max_dist: f64) -> usize {
+        self.list_close_pairs(max_dist).len()
+    }
+
+    /// Lists unordered pairs `(i, j)`, `i < j`, with centre distance below
+    /// `max_dist`.
+    #[must_use]
+    pub fn list_close_pairs(&self, max_dist: f64) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for (i, c) in self.circles.iter().enumerate() {
+            self.spatial.for_neighbors(c.x, c.y, max_dist, |j| {
+                if j > i && c.centre_distance(&self.circles[j]) < max_dist {
+                    pairs.push((i, j));
+                }
+            });
+        }
+        pairs
+    }
+
+    /// Full cache-consistency check against from-scratch recomputation.
+    /// Used by tests and by the samplers' debug assertions.
+    ///
+    /// # Errors
+    /// Describes the first inconsistent cache found.
+    pub fn verify_consistency(&self, model: &NucleiModel) -> Result<(), String> {
+        let frame = Rect::of_image(model.params.width, model.params.height);
+        let (fresh_cov, fresh_lik) =
+            CoverageGrid::from_circles(frame, &self.circles, &model.gain);
+        if fresh_cov != self.coverage {
+            return Err("coverage grid out of sync".into());
+        }
+        if (fresh_lik - self.log_lik).abs() > 1e-6 * (1.0 + fresh_lik.abs()) {
+            return Err(format!(
+                "log-lik cache {} vs recomputed {}",
+                self.log_lik, fresh_lik
+            ));
+        }
+        let mut fresh_overlap = 0.0;
+        for (i, a) in self.circles.iter().enumerate() {
+            for b in self.circles.iter().skip(i + 1) {
+                fresh_overlap += a.intersection_area(b);
+            }
+        }
+        if (fresh_overlap - self.overlap_area).abs() > 1e-6 * (1.0 + fresh_overlap.abs()) {
+            return Err(format!(
+                "overlap cache {} vs recomputed {}",
+                self.overlap_area, fresh_overlap
+            ));
+        }
+        if self.spatial.len() != self.circles.len() {
+            return Err(format!(
+                "spatial index holds {} entries for {} circles",
+                self.spatial.len(),
+                self.circles.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Point-process count log-density for `k` circles under intensity
+/// `lambda`: `k·ln λ − λ` (set convention, see
+/// [`Configuration::log_prior`]).
+#[must_use]
+pub fn count_log_prior(k: usize, lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    k as f64 * lambda.ln() - lambda
+}
+
+/// Samples `Poisson(lambda)` (Knuth's method with a normal approximation
+/// for large means).
+pub fn sample_poisson(lambda: f64, rng: &mut impl rand::Rng) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 400.0 {
+        // Normal approximation, adequate for initial-state generation.
+        let z = crate::rng::standard_normal(rng);
+        return (lambda + lambda.sqrt() * z).round().max(0.0) as usize;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelParams;
+    use crate::rng::Xoshiro256;
+    use pmcmc_imaging::GrayImage;
+    use rand::Rng;
+
+    fn test_model(w: u32, h: u32) -> NucleiModel {
+        let params = ModelParams::new(w, h, 6.0, 8.0);
+        let img = GrayImage::from_fn(w, h, |x, y| ((x * 7 + y * 3) % 11) as f32 / 11.0);
+        NucleiModel::new(&img, params)
+    }
+
+    #[test]
+    fn empty_configuration_has_zero_caches() {
+        let m = test_model(64, 64);
+        let cfg = Configuration::empty(&m);
+        assert!(cfg.is_empty());
+        assert_eq!(cfg.log_lik(), 0.0);
+        assert_eq!(cfg.overlap_area(), 0.0);
+        cfg.verify_consistency(&m).unwrap();
+    }
+
+    #[test]
+    fn apply_add_updates_caches() {
+        let m = test_model(64, 64);
+        let mut cfg = Configuration::empty(&m);
+        let r = cfg.apply(&Edit::add_one(Circle::new(30.0, 30.0, 8.0)), &m);
+        assert_eq!(cfg.len(), 1);
+        assert_eq!(r.n_added, 1);
+        assert!((cfg.log_lik() - r.d_log_lik).abs() < 1e-12);
+        cfg.verify_consistency(&m).unwrap();
+    }
+
+    #[test]
+    fn apply_then_revert_restores_caches() {
+        let m = test_model(64, 64);
+        let mut cfg = Configuration::from_circles(
+            &m,
+            &[
+                Circle::new(20.0, 20.0, 8.0),
+                Circle::new(26.0, 22.0, 7.0),
+                Circle::new(50.0, 50.0, 6.0),
+            ],
+        );
+        let lik0 = cfg.log_lik();
+        let ov0 = cfg.overlap_area();
+        // A merge-like edit: remove two, add one.
+        let edit = Edit {
+            remove: vec![0, 1],
+            add: vec![Circle::new(23.0, 21.0, 7.5)],
+        };
+        let receipt = cfg.apply(&edit, &m);
+        assert_eq!(cfg.len(), 2);
+        cfg.verify_consistency(&m).unwrap();
+        cfg.revert(&receipt, &m);
+        assert_eq!(cfg.len(), 3);
+        assert!((cfg.log_lik() - lik0).abs() < 1e-6);
+        assert!((cfg.overlap_area() - ov0).abs() < 1e-6);
+        cfg.verify_consistency(&m).unwrap();
+    }
+
+    #[test]
+    fn overlap_counted_once_per_pair() {
+        let m = test_model(64, 64);
+        let a = Circle::new(30.0, 30.0, 8.0);
+        let b = Circle::new(36.0, 30.0, 8.0);
+        let cfg = Configuration::from_circles(&m, &[a, b]);
+        assert!((cfg.overlap_area() - a.intersection_area(&b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_edits_keep_caches_consistent() {
+        let m = test_model(96, 96);
+        let mut rng = Xoshiro256::new(99);
+        let mut cfg = Configuration::empty(&m);
+        for step in 0..300 {
+            let choice: f64 = rng.gen();
+            if cfg.is_empty() || choice < 0.5 {
+                let c = Circle::new(
+                    rng.gen_range(0.0..96.0),
+                    rng.gen_range(0.0..96.0),
+                    rng.gen_range(3.3..16.0),
+                );
+                cfg.apply(&Edit::add_one(c), &m);
+            } else if choice < 0.8 {
+                let i = rng.gen_range(0..cfg.len());
+                cfg.apply(&Edit::remove_one(i), &m);
+            } else {
+                let i = rng.gen_range(0..cfg.len());
+                let c = Circle::new(
+                    rng.gen_range(0.0..96.0),
+                    rng.gen_range(0.0..96.0),
+                    rng.gen_range(3.3..16.0),
+                );
+                cfg.apply(&Edit::replace_one(i, c), &m);
+            }
+            if step % 37 == 0 {
+                cfg.verify_consistency(&m)
+                    .unwrap_or_else(|e| panic!("step {step}: {e}"));
+            }
+        }
+        cfg.verify_consistency(&m).unwrap();
+    }
+
+    #[test]
+    fn log_prior_penalises_overlap() {
+        let m = test_model(64, 64);
+        let apart = Configuration::from_circles(
+            &m,
+            &[Circle::new(15.0, 15.0, 8.0), Circle::new(50.0, 50.0, 8.0)],
+        );
+        let together = Configuration::from_circles(
+            &m,
+            &[Circle::new(30.0, 30.0, 8.0), Circle::new(33.0, 30.0, 8.0)],
+        );
+        assert!(apart.log_prior(&m) > together.log_prior(&m));
+    }
+
+    #[test]
+    fn close_pairs_enumeration() {
+        let m = test_model(128, 128);
+        let cfg = Configuration::from_circles(
+            &m,
+            &[
+                Circle::new(20.0, 20.0, 8.0),
+                Circle::new(28.0, 20.0, 8.0), // 8 away from first
+                Circle::new(100.0, 100.0, 8.0),
+            ],
+        );
+        assert_eq!(cfg.count_close_pairs(10.0), 1);
+        let pairs = cfg.list_close_pairs(10.0);
+        assert_eq!(pairs, vec![(0, 1)]);
+        assert_eq!(cfg.count_close_pairs(200.0), 3);
+        assert_eq!(cfg.count_close_pairs(1.0), 0);
+    }
+
+    #[test]
+    fn poisson_sampler_mean() {
+        let mut rng = Xoshiro256::new(4);
+        for &lambda in &[0.5, 4.0, 30.0, 150.0] {
+            let n = 3000;
+            let mean: f64 = (0..n)
+                .map(|_| sample_poisson(lambda, &mut rng) as f64)
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (mean - lambda).abs() < 4.0 * (lambda / n as f64).sqrt() + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(sample_poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn random_init_roughly_poisson() {
+        let m = test_model(128, 128);
+        let mut rng = Xoshiro256::new(10);
+        let counts: Vec<usize> = (0..200)
+            .map(|_| Configuration::random_init(&m, &mut rng).len())
+            .collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((mean - 6.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate removal")]
+    fn duplicate_removal_panics() {
+        let m = test_model(64, 64);
+        let mut cfg =
+            Configuration::from_circles(&m, &[Circle::new(20.0, 20.0, 8.0)]);
+        let edit = Edit {
+            remove: vec![0, 0],
+            add: vec![],
+        };
+        cfg.apply(&edit, &m);
+    }
+}

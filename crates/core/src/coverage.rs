@@ -1,0 +1,322 @@
+//! Per-pixel circle-cover counts with incremental log-likelihood deltas.
+//!
+//! The two-level likelihood only cares whether a pixel is covered by *at
+//! least one* circle, so adding/removing a circle changes the
+//! log-likelihood by the summed gains of pixels whose cover count crosses
+//! the 0↔1 boundary. The grid may represent the full image or one
+//! partition tile (it stores its own global-coordinate rectangle), which is
+//! how tile workers operate on private copies of their sub-grid.
+
+use crate::likelihood::Gain;
+use pmcmc_imaging::{Circle, Rect};
+
+/// Cover counts over a rectangular region of the image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageGrid {
+    /// The region this grid represents, in global image coordinates.
+    rect: Rect,
+    counts: Vec<u16>,
+}
+
+/// Visits every integer pixel of `circle`'s disk clipped to `rect`,
+/// row-by-row (exact span arithmetic; the single source of truth for what
+/// "the disk's pixels" means, shared by add and remove).
+pub fn for_each_disk_pixel(circle: &Circle, rect: &Rect, mut f: impl FnMut(i64, i64)) {
+    let y0 = ((circle.y - circle.r - 0.5).ceil() as i64).max(rect.y0);
+    let y1 = ((circle.y + circle.r - 0.5).floor() as i64).min(rect.y1 - 1);
+    let r2 = circle.r * circle.r;
+    for py in y0..=y1 {
+        let dy = py as f64 + 0.5 - circle.y;
+        let h2 = r2 - dy * dy;
+        if h2 < 0.0 {
+            continue;
+        }
+        let h = h2.sqrt();
+        let x0 = ((circle.x - h - 0.5).ceil() as i64).max(rect.x0);
+        let x1 = ((circle.x + h - 0.5).floor() as i64).min(rect.x1 - 1);
+        for px in x0..=x1 {
+            f(px, py);
+        }
+    }
+}
+
+impl CoverageGrid {
+    /// Creates an all-zero grid covering `rect`.
+    #[must_use]
+    pub fn new(rect: Rect) -> Self {
+        Self {
+            rect,
+            counts: vec![0; rect.area().max(0) as usize],
+        }
+    }
+
+    /// The region this grid represents.
+    #[must_use]
+    pub const fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    #[inline]
+    fn index(&self, x: i64, y: i64) -> usize {
+        debug_assert!(self.rect.contains(x, y));
+        ((y - self.rect.y0) as usize) * (self.rect.width() as usize) + (x - self.rect.x0) as usize
+    }
+
+    /// Cover count of global pixel `(x, y)` (0 when outside the region).
+    #[must_use]
+    pub fn count(&self, x: i64, y: i64) -> u16 {
+        if self.rect.contains(x, y) {
+            self.counts[self.index(x, y)]
+        } else {
+            0
+        }
+    }
+
+    /// Adds a circle's disk; returns the log-likelihood delta (sum of gains
+    /// of pixels newly covered).
+    pub fn add_circle(&mut self, circle: &Circle, gain: &Gain) -> f64 {
+        let mut dlog = 0.0;
+        let rect = self.rect;
+        for_each_disk_pixel(circle, &rect, |x, y| {
+            let i = self.index(x, y);
+            self.counts[i] += 1;
+            if self.counts[i] == 1 {
+                dlog += gain.get(x as u32, y as u32);
+            }
+        });
+        dlog
+    }
+
+    /// Removes a circle's disk; returns the log-likelihood delta (negative
+    /// sum of gains of pixels no longer covered).
+    ///
+    /// # Panics
+    /// Panics in debug builds if a disk pixel has zero count (grid/circle
+    /// mismatch).
+    pub fn remove_circle(&mut self, circle: &Circle, gain: &Gain) -> f64 {
+        let mut dlog = 0.0;
+        let rect = self.rect;
+        for_each_disk_pixel(circle, &rect, |x, y| {
+            let i = self.index(x, y);
+            debug_assert!(self.counts[i] > 0, "removing uncovered pixel");
+            self.counts[i] -= 1;
+            if self.counts[i] == 0 {
+                dlog -= gain.get(x as u32, y as u32);
+            }
+        });
+        dlog
+    }
+
+    /// Builds the grid for a set of circles from scratch and returns the
+    /// grid together with the total covered-gain sum (the configuration's
+    /// log-likelihood relative to empty, restricted to `rect`).
+    #[must_use]
+    pub fn from_circles(rect: Rect, circles: &[Circle], gain: &Gain) -> (Self, f64) {
+        let mut grid = Self::new(rect);
+        let mut total = 0.0;
+        for c in circles {
+            total += grid.add_circle(c, gain);
+        }
+        (grid, total)
+    }
+
+    /// Copies out the sub-grid for `sub` (must be contained in this grid's
+    /// region).
+    ///
+    /// # Panics
+    /// Panics if `sub` is not contained in the grid's region.
+    #[must_use]
+    pub fn crop(&self, sub: Rect) -> CoverageGrid {
+        assert_eq!(
+            sub.intersect(&self.rect),
+            sub,
+            "crop region must lie inside the grid"
+        );
+        let mut out = CoverageGrid::new(sub);
+        for y in sub.y0..sub.y1 {
+            let src = self.index(sub.x0, y);
+            let dst = out.index(sub.x0, y);
+            let w = sub.width() as usize;
+            out.counts[dst..dst + w].copy_from_slice(&self.counts[src..src + w]);
+        }
+        out
+    }
+
+    /// Pastes a sub-grid (produced by [`CoverageGrid::crop`]) back.
+    ///
+    /// # Panics
+    /// Panics if `sub`'s region is not contained in this grid's region.
+    pub fn paste(&mut self, sub: &CoverageGrid) {
+        let r = sub.rect;
+        assert_eq!(
+            r.intersect(&self.rect),
+            r,
+            "paste region must lie inside the grid"
+        );
+        for y in r.y0..r.y1 {
+            let dst = self.index(r.x0, y);
+            let src = sub.index(r.x0, y);
+            let w = r.width() as usize;
+            self.counts[dst..dst + w].copy_from_slice(&sub.counts[src..src + w]);
+        }
+    }
+
+    /// Number of covered pixels (count ≥ 1).
+    #[must_use]
+    pub fn covered_pixels(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelParams;
+    use pmcmc_imaging::GrayImage;
+
+    fn setup(w: u32, h: u32) -> (ModelParams, Gain) {
+        let p = ModelParams::new(w, h, 5.0, 6.0);
+        let img = GrayImage::from_fn(w, h, |x, y| ((x * 13 + y * 7) % 10) as f32 / 10.0);
+        let g = Gain::from_image(&img, &p);
+        (p, g)
+    }
+
+    #[test]
+    fn disk_pixels_match_covers_pixel() {
+        let rect = Rect::new(0, 0, 40, 40);
+        for &c in &[
+            Circle::new(20.0, 20.0, 7.3),
+            Circle::new(0.5, 0.5, 3.0),
+            Circle::new(39.0, 20.0, 5.0),
+            Circle::new(20.2, 19.7, 0.6),
+        ] {
+            let mut via_iter = std::collections::HashSet::new();
+            for_each_disk_pixel(&c, &rect, |x, y| {
+                via_iter.insert((x, y));
+            });
+            for y in 0..40 {
+                for x in 0..40 {
+                    assert_eq!(
+                        c.covers_pixel(x, y),
+                        via_iter.contains(&(x, y)),
+                        "pixel ({x},{y}) circle {c:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let (_, gain) = setup(32, 32);
+        let mut grid = CoverageGrid::new(Rect::new(0, 0, 32, 32));
+        let base = grid.clone();
+        let c = Circle::new(16.0, 16.0, 6.0);
+        let d1 = grid.add_circle(&c, &gain);
+        let d2 = grid.remove_circle(&c, &gain);
+        assert!((d1 + d2).abs() < 1e-12);
+        assert_eq!(grid, base);
+    }
+
+    #[test]
+    fn overlap_counts_gains_once() {
+        let (_, gain) = setup(32, 32);
+        let mut grid = CoverageGrid::new(Rect::new(0, 0, 32, 32));
+        let a = Circle::new(14.0, 16.0, 6.0);
+        let b = Circle::new(18.0, 16.0, 6.0);
+        let da = grid.add_circle(&a, &gain);
+        let db = grid.add_circle(&b, &gain);
+        // Total equals the union sum of gains.
+        let mut union = std::collections::HashSet::new();
+        for_each_disk_pixel(&a, &grid.rect(), |x, y| {
+            union.insert((x, y));
+        });
+        for_each_disk_pixel(&b, &grid.rect(), |x, y| {
+            union.insert((x, y));
+        });
+        let expect: f64 = union
+            .iter()
+            .map(|&(x, y)| gain.get(x as u32, y as u32))
+            .sum();
+        assert!((da + db - expect).abs() < 1e-9);
+        // Removing one circle keeps the shared pixels covered.
+        let dr = grid.remove_circle(&a, &gain);
+        let only_b: f64 = {
+            let mut s = std::collections::HashSet::new();
+            for_each_disk_pixel(&b, &grid.rect(), |x, y| {
+                s.insert((x, y));
+            });
+            s.iter().map(|&(x, y)| gain.get(x as u32, y as u32)).sum()
+        };
+        assert!((da + db + dr - only_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_circles_total_matches_incremental() {
+        let (_, gain) = setup(48, 48);
+        let circles = vec![
+            Circle::new(10.0, 10.0, 5.0),
+            Circle::new(13.0, 12.0, 4.0),
+            Circle::new(40.0, 40.0, 6.0),
+        ];
+        let (grid, total) = CoverageGrid::from_circles(Rect::new(0, 0, 48, 48), &circles, &gain);
+        let mut grid2 = CoverageGrid::new(Rect::new(0, 0, 48, 48));
+        let mut t2 = 0.0;
+        for c in &circles {
+            t2 += grid2.add_circle(c, &gain);
+        }
+        assert!((total - t2).abs() < 1e-12);
+        assert_eq!(grid, grid2);
+    }
+
+    #[test]
+    fn crop_paste_roundtrip() {
+        let (_, gain) = setup(40, 40);
+        let circles = vec![Circle::new(12.0, 12.0, 6.0), Circle::new(30.0, 28.0, 5.0)];
+        let (mut grid, _) =
+            CoverageGrid::from_circles(Rect::new(0, 0, 40, 40), &circles, &gain);
+        let sub_rect = Rect::new(5, 5, 25, 25);
+        let mut sub = grid.crop(sub_rect);
+        // Mutate within the sub-grid, paste back, and verify counts.
+        let local = Circle::new(15.0, 15.0, 3.0);
+        sub.add_circle(&local, &gain);
+        grid.paste(&sub);
+        for_each_disk_pixel(&local, &sub_rect, |x, y| {
+            assert!(grid.count(x, y) >= 1);
+        });
+        // Outside the paste region everything unchanged.
+        assert!(grid.count(30, 28) >= 1);
+    }
+
+    #[test]
+    fn clipping_at_image_border() {
+        let (_, gain) = setup(20, 20);
+        let mut grid = CoverageGrid::new(Rect::new(0, 0, 20, 20));
+        let c = Circle::new(0.0, 10.0, 5.0); // half outside
+        let d = grid.add_circle(&c, &gain);
+        assert!(d.is_finite());
+        assert!(grid.covered_pixels() > 0);
+        assert_eq!(grid.count(-1, 10), 0, "outside reads as zero");
+        let d2 = grid.remove_circle(&c, &gain);
+        assert!((d + d2).abs() < 1e-12);
+        assert_eq!(grid.covered_pixels(), 0);
+    }
+
+    #[test]
+    fn tile_grid_uses_global_coordinates() {
+        let (_, gain) = setup(40, 40);
+        let tile = Rect::new(10, 10, 30, 30);
+        let mut grid = CoverageGrid::new(tile);
+        let c = Circle::new(20.0, 20.0, 4.0);
+        grid.add_circle(&c, &gain);
+        assert!(grid.count(20, 20) == 1);
+        assert_eq!(grid.count(5, 5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop region")]
+    fn crop_outside_panics() {
+        let grid = CoverageGrid::new(Rect::new(0, 0, 10, 10));
+        let _ = grid.crop(Rect::new(5, 5, 15, 15));
+    }
+}

@@ -1,0 +1,384 @@
+//! Chain diagnostics: acceptance accounting, posterior traces, convergence
+//! detection and summary statistics.
+//!
+//! "Determining when a chain has converged ... is an unsolved problem
+//! beyond the scope of this paper" (§II) — Table I nevertheless reports
+//! "# itr to converge", so we implement the pragmatic plateau detector
+//! described below and use it consistently for all reported numbers.
+
+use crate::params::MoveKind;
+use std::collections::VecDeque;
+
+/// Per-kind proposal/acceptance counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Times this kind was drawn.
+    pub proposed: u64,
+    /// Times the proposal was accepted.
+    pub accepted: u64,
+    /// Times no proposal could be constructed (counts as rejection).
+    pub invalid: u64,
+}
+
+/// Acceptance statistics for a sampler (or one partition worker).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AcceptanceStats {
+    counts: [KindCounts; 7],
+}
+
+fn kind_index(kind: MoveKind) -> usize {
+    MoveKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL")
+}
+
+impl AcceptanceStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted proposal.
+    pub fn record_accept(&mut self, kind: MoveKind) {
+        let c = &mut self.counts[kind_index(kind)];
+        c.proposed += 1;
+        c.accepted += 1;
+    }
+
+    /// Records a rejected proposal.
+    pub fn record_reject(&mut self, kind: MoveKind) {
+        self.counts[kind_index(kind)].proposed += 1;
+    }
+
+    /// Records a move kind that could not construct a proposal.
+    pub fn record_invalid(&mut self, kind: MoveKind) {
+        let c = &mut self.counts[kind_index(kind)];
+        c.proposed += 1;
+        c.invalid += 1;
+    }
+
+    /// Counters for one kind.
+    #[must_use]
+    pub fn kind(&self, kind: MoveKind) -> KindCounts {
+        self.counts[kind_index(kind)]
+    }
+
+    /// Total iterations recorded.
+    #[must_use]
+    pub fn total_proposed(&self) -> u64 {
+        self.counts.iter().map(|c| c.proposed).sum()
+    }
+
+    /// Total accepted moves.
+    #[must_use]
+    pub fn total_accepted(&self) -> u64 {
+        self.counts.iter().map(|c| c.accepted).sum()
+    }
+
+    /// Overall acceptance rate (0 when nothing proposed).
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        let p = self.total_proposed();
+        if p == 0 {
+            0.0
+        } else {
+            self.total_accepted() as f64 / p as f64
+        }
+    }
+
+    /// Overall rejection rate `p_r` — the quantity the speculative-move
+    /// model (eq. 3) depends on; "typically being around 75 %" per §IV.
+    #[must_use]
+    pub fn rejection_rate(&self) -> f64 {
+        1.0 - self.acceptance_rate()
+    }
+
+    /// Rejection rate restricted to global (`Mg`) moves — `p_gr` of eq. (3).
+    #[must_use]
+    pub fn global_rejection_rate(&self) -> f64 {
+        self.group_rejection_rate(true)
+    }
+
+    /// Rejection rate restricted to local (`Ml`) moves — `p_lr` of eq. (4).
+    #[must_use]
+    pub fn local_rejection_rate(&self) -> f64 {
+        self.group_rejection_rate(false)
+    }
+
+    fn group_rejection_rate(&self, global: bool) -> f64 {
+        let (mut p, mut a) = (0u64, 0u64);
+        for &k in &MoveKind::ALL {
+            if k.is_global() == global {
+                let c = self.kind(k);
+                p += c.proposed;
+                a += c.accepted;
+            }
+        }
+        if p == 0 {
+            0.0
+        } else {
+            1.0 - a as f64 / p as f64
+        }
+    }
+
+    /// Adds another stats object into this one (merging tile workers).
+    pub fn merge(&mut self, other: &AcceptanceStats) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            mine.proposed += theirs.proposed;
+            mine.accepted += theirs.accepted;
+            mine.invalid += theirs.invalid;
+        }
+    }
+}
+
+/// One recorded trace point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Iteration number.
+    pub iteration: u64,
+    /// Circle count.
+    pub count: usize,
+    /// Log-posterior.
+    pub log_posterior: f64,
+}
+
+/// A thinned chain trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Recorded points in iteration order.
+    pub points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, iteration: u64, count: usize, log_posterior: f64) {
+        self.points.push(TracePoint {
+            iteration,
+            count,
+            log_posterior,
+        });
+    }
+
+    /// Mean and standard deviation of the circle count over the last
+    /// `frac` of the trace (posterior summary after burn-in).
+    #[must_use]
+    pub fn count_summary(&self, frac: f64) -> (f64, f64) {
+        let tail = self.tail(frac);
+        mean_sd(tail.iter().map(|p| p.count as f64))
+    }
+
+    /// Mean and standard deviation of the log-posterior over the last
+    /// `frac` of the trace.
+    #[must_use]
+    pub fn log_posterior_summary(&self, frac: f64) -> (f64, f64) {
+        let tail = self.tail(frac);
+        mean_sd(tail.iter().map(|p| p.log_posterior))
+    }
+
+    fn tail(&self, frac: f64) -> &[TracePoint] {
+        let n = self.points.len();
+        let keep = ((n as f64) * frac.clamp(0.0, 1.0)).ceil() as usize;
+        &self.points[n - keep.min(n)..]
+    }
+
+    /// Geweke-style z-score comparing the first 10 % and last 50 % of the
+    /// log-posterior trace; |z| ≲ 2 is consistent with convergence.
+    #[must_use]
+    pub fn geweke_z(&self) -> f64 {
+        let n = self.points.len();
+        if n < 20 {
+            return f64::NAN;
+        }
+        let a: Vec<f64> = self.points[..n / 10]
+            .iter()
+            .map(|p| p.log_posterior)
+            .collect();
+        let b: Vec<f64> = self.points[n / 2..]
+            .iter()
+            .map(|p| p.log_posterior)
+            .collect();
+        let (ma, sa) = mean_sd(a.iter().copied());
+        let (mb, sb) = mean_sd(b.iter().copied());
+        let se = (sa * sa / a.len() as f64 + sb * sb / b.len() as f64).sqrt();
+        if se == 0.0 {
+            0.0
+        } else {
+            (ma - mb) / se
+        }
+    }
+}
+
+fn mean_sd(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Plateau detector on the log-posterior: the chain is declared converged
+/// once the mean over the most recent window exceeds the mean over the
+/// preceding window by less than `tolerance`.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    window: usize,
+    tolerance: f64,
+    history: VecDeque<f64>,
+    converged_at: Option<u64>,
+    samples_seen: u64,
+}
+
+impl ConvergenceDetector {
+    /// `window` samples per half, absolute improvement `tolerance` (in
+    /// log-posterior units).
+    #[must_use]
+    pub fn new(window: usize, tolerance: f64) -> Self {
+        Self {
+            window: window.max(2),
+            tolerance,
+            history: VecDeque::new(),
+            converged_at: None,
+            samples_seen: 0,
+        }
+    }
+
+    /// Feeds one log-posterior observation (call at a fixed iteration
+    /// stride); returns true once converged.
+    pub fn push(&mut self, iteration: u64, log_posterior: f64) -> bool {
+        self.samples_seen += 1;
+        self.history.push_back(log_posterior);
+        if self.history.len() > 2 * self.window {
+            self.history.pop_front();
+        }
+        if self.converged_at.is_none() && self.history.len() == 2 * self.window {
+            let first: f64 = self.history.iter().take(self.window).sum::<f64>()
+                / self.window as f64;
+            let second: f64 = self.history.iter().skip(self.window).sum::<f64>()
+                / self.window as f64;
+            if second - first < self.tolerance {
+                self.converged_at = Some(iteration);
+            }
+        }
+        self.converged_at.is_some()
+    }
+
+    /// The iteration at which convergence was declared, if any.
+    #[must_use]
+    pub fn converged_at(&self) -> Option<u64> {
+        self.converged_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_rates() {
+        let mut s = AcceptanceStats::new();
+        s.record_accept(MoveKind::Birth);
+        s.record_reject(MoveKind::Birth);
+        s.record_reject(MoveKind::Translate);
+        s.record_invalid(MoveKind::Merge);
+        assert_eq!(s.total_proposed(), 4);
+        assert_eq!(s.total_accepted(), 1);
+        assert!((s.acceptance_rate() - 0.25).abs() < 1e-12);
+        assert!((s.rejection_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.kind(MoveKind::Birth).proposed, 2);
+        assert_eq!(s.kind(MoveKind::Merge).invalid, 1);
+    }
+
+    #[test]
+    fn group_rates_split_by_classification() {
+        let mut s = AcceptanceStats::new();
+        s.record_accept(MoveKind::Birth); // global accepted
+        s.record_reject(MoveKind::Split); // global rejected
+        s.record_accept(MoveKind::Translate); // local accepted
+        assert!((s.global_rejection_rate() - 0.5).abs() < 1e-12);
+        assert!((s.local_rejection_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_merge_adds() {
+        let mut a = AcceptanceStats::new();
+        a.record_accept(MoveKind::Resize);
+        let mut b = AcceptanceStats::new();
+        b.record_reject(MoveKind::Resize);
+        b.record_accept(MoveKind::Resize);
+        a.merge(&b);
+        assert_eq!(a.kind(MoveKind::Resize).proposed, 3);
+        assert_eq!(a.kind(MoveKind::Resize).accepted, 2);
+    }
+
+    #[test]
+    fn empty_stats_rates_are_zero() {
+        let s = AcceptanceStats::new();
+        assert_eq!(s.acceptance_rate(), 0.0);
+        assert_eq!(s.global_rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn trace_summaries() {
+        let mut t = Trace::new();
+        for i in 0..100u64 {
+            t.push(i, if i < 50 { 3 } else { 7 }, i as f64);
+        }
+        let (mean_all, _) = t.count_summary(1.0);
+        assert!((mean_all - 5.0).abs() < 1e-9);
+        let (mean_tail, sd_tail) = t.count_summary(0.5);
+        assert!((mean_tail - 7.0).abs() < 1e-9);
+        assert!(sd_tail.abs() < 1e-9);
+    }
+
+    #[test]
+    fn geweke_flags_drift() {
+        let mut drifting = Trace::new();
+        let mut flat = Trace::new();
+        let mut seed = 1u64;
+        let mut noise = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f64 / f64::from(u32::MAX)) - 0.5
+        };
+        for i in 0..200u64 {
+            drifting.push(i, 5, i as f64 + noise());
+            flat.push(i, 5, noise());
+        }
+        assert!(drifting.geweke_z().abs() > 3.0);
+        assert!(flat.geweke_z().abs() < 3.0);
+    }
+
+    #[test]
+    fn convergence_detector_fires_on_plateau() {
+        let mut d = ConvergenceDetector::new(10, 0.1);
+        let mut fired_at = None;
+        for i in 0..200u64 {
+            // Rises for 50 samples then plateaus.
+            let v = if i < 50 { i as f64 } else { 50.0 };
+            if d.push(i, v) && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        let at = fired_at.expect("must converge");
+        assert!(at >= 50, "fired during the rise at {at}");
+        assert!(at < 90, "fired too late at {at}");
+        assert_eq!(d.converged_at(), Some(at));
+    }
+
+    #[test]
+    fn convergence_detector_silent_while_rising() {
+        let mut d = ConvergenceDetector::new(10, 0.1);
+        for i in 0..100u64 {
+            assert!(!d.push(i, i as f64 * 2.0), "fired during steady rise");
+        }
+    }
+}

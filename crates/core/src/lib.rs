@@ -1,0 +1,55 @@
+//! # pmcmc-core
+//!
+//! Reversible-jump MCMC core of the `pmcmc` workspace — the case-study
+//! model of *"On the Parallelisation of MCMC-based Image Processing"*
+//! (Byrd, Jarvis & Bhalerao, IPDPS-W 2010): detection of stained cell
+//! nuclei, abstracted to finding circles of high intensity (§III).
+//!
+//! The layers:
+//!
+//! * [`math`] / [`rng`] — special functions and deterministic, splittable
+//!   random streams;
+//! * [`params`] — priors, the global/local move taxonomy of §V, proposal
+//!   scales;
+//! * [`likelihood`] / [`coverage`] — the two-level Gaussian pixel
+//!   likelihood with O(Δarea) incremental updates;
+//! * [`config`] — the chain state (circles + caches) with reversible
+//!   [`config::Edit`]s;
+//! * [`moves`] — the seven RJMCMC proposal builders with exact
+//!   dimension-matching ratios;
+//! * [`sampler`] — the sequential baseline sampler;
+//! * [`tile`] — per-partition workspaces for the parallel local phases of
+//!   periodic partitioning (§V);
+//! * [`diagnostics`] / [`matching`] — acceptance stats, traces,
+//!   convergence detection and anomaly scoring;
+//! * [`mc3`] — Metropolis-coupled MCMC (§IV related work).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod coverage;
+pub mod diagnostics;
+pub mod likelihood;
+pub mod matching;
+pub mod math;
+pub mod mc3;
+pub mod model;
+pub mod moves;
+pub mod params;
+pub mod rng;
+pub mod sampler;
+pub mod samples;
+pub mod spatial;
+pub mod tile;
+
+pub use config::{Configuration, Edit, Receipt};
+pub use diagnostics::{AcceptanceStats, ConvergenceDetector, Trace};
+pub use likelihood::Gain;
+pub use matching::{match_circles, MatchResult};
+pub use mc3::Mc3;
+pub use model::NucleiModel;
+pub use params::{ModelParams, MoveKind, MoveWeights, ProposalScales};
+pub use rng::Xoshiro256;
+pub use sampler::{evaluate_proposal, Evaluation, Sampler};
+pub use samples::{CountDistribution, SampleCollector};
+pub use tile::TileWorkspace;

@@ -1,0 +1,148 @@
+//! The two-level Gaussian pixel likelihood and its precomputed gain image.
+//!
+//! §III: "The likelihood of the proposed configuration is obtained by
+//! comparing the proposed artifacts against the filtered image." We model
+//! each pixel as `y ~ N(fg, sigma)` where some circle covers it and
+//! `y ~ N(bg, sigma)` otherwise, giving
+//!
+//! ```text
+//! log L(c) = Σ_p  -(y_p - m_c(p))² / (2σ²)  + const.
+//! ```
+//!
+//! Only *changes* in coverage matter to an MCMC acceptance ratio, so we
+//! precompute for every pixel the **gain**
+//! `g_p = [(y_p - bg)² - (y_p - fg)²] / (2σ²)`:
+//! covering a previously uncovered pixel adds `g_p` to the log-likelihood
+//! and uncovering it subtracts `g_p`. This makes every move's Δlog L an
+//! O(disk area) sum, the property the paper's local moves rely on.
+
+use crate::params::ModelParams;
+use pmcmc_imaging::{GrayImage, Rect};
+
+/// Precomputed per-pixel log-likelihood gains.
+#[derive(Debug, Clone)]
+pub struct Gain {
+    width: u32,
+    height: u32,
+    data: Vec<f64>,
+    /// Log-likelihood of the empty configuration (all pixels background),
+    /// up to the Gaussian normalisation constant.
+    log_lik_empty: f64,
+}
+
+impl Gain {
+    /// Builds the gain image for `img` under `params`.
+    ///
+    /// # Panics
+    /// Panics if the image dimensions disagree with `params`.
+    #[must_use]
+    pub fn from_image(img: &GrayImage, params: &ModelParams) -> Self {
+        assert_eq!(img.width(), params.width, "image width mismatch");
+        assert_eq!(img.height(), params.height, "image height mismatch");
+        let two_var = 2.0 * params.noise_sd * params.noise_sd;
+        let mut data = Vec::with_capacity(img.len());
+        let mut empty = 0.0f64;
+        for (_, _, y) in img.pixels() {
+            let y = f64::from(y);
+            let db = y - params.bg;
+            let df = y - params.fg;
+            data.push((db * db - df * df) / two_var);
+            empty -= db * db / two_var;
+        }
+        Self {
+            width: img.width(),
+            height: img.height(),
+            data,
+            log_lik_empty: empty,
+        }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Gain of pixel `(x, y)`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, x: u32, y: u32) -> f64 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[(y as usize) * (self.width as usize) + (x as usize)]
+    }
+
+    /// Log-likelihood of the empty configuration (up to the Gaussian
+    /// normalisation constant, which is configuration-independent).
+    #[must_use]
+    pub const fn log_lik_empty(&self) -> f64 {
+        self.log_lik_empty
+    }
+
+    /// Sum of gains over a rectangle clipped to the image — used by tests
+    /// to cross-check incremental bookkeeping.
+    #[must_use]
+    pub fn sum_in(&self, rect: &Rect) -> f64 {
+        let frame = Rect::of_image(self.width, self.height);
+        rect.pixels_clipped(&frame)
+            .map(|(x, y)| self.get(x as u32, y as u32))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(w: u32, h: u32) -> ModelParams {
+        ModelParams::new(w, h, 5.0, 6.0)
+    }
+
+    #[test]
+    fn gain_positive_on_foreground_pixels() {
+        let p = params(4, 1);
+        let img = GrayImage::from_vec(4, 1, vec![0.9, 0.1, 0.5, 0.0]);
+        let g = Gain::from_image(&img, &p);
+        assert!(g.get(0, 0) > 0.0, "bright pixel favours coverage");
+        assert!(g.get(1, 0) < 0.0, "dark pixel disfavours coverage");
+        // Exactly between fg and bg: no preference.
+        assert!(g.get(2, 0).abs() < 1e-9);
+        assert!(g.get(3, 0) < g.get(1, 0), "darker pixel penalised more");
+    }
+
+    #[test]
+    fn gain_formula_matches_direct_difference() {
+        let p = params(1, 1);
+        let y = 0.63f32;
+        let img = GrayImage::from_vec(1, 1, vec![y]);
+        let g = Gain::from_image(&img, &p);
+        let two_var = 2.0 * p.noise_sd * p.noise_sd;
+        let lf = -((f64::from(y) - p.fg).powi(2)) / two_var;
+        let lb = -((f64::from(y) - p.bg).powi(2)) / two_var;
+        assert!((g.get(0, 0) - (lf - lb)).abs() < 1e-12);
+        assert!((g.log_lik_empty() - lb).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn dimension_mismatch_panics() {
+        let p = params(4, 4);
+        let img = GrayImage::zeros(3, 4);
+        let _ = Gain::from_image(&img, &p);
+    }
+
+    #[test]
+    fn sum_in_clips() {
+        let p = params(3, 3);
+        let img = GrayImage::filled(3, 3, 0.9);
+        let g = Gain::from_image(&img, &p);
+        let full = g.sum_in(&Rect::new(-10, -10, 10, 10));
+        let one = g.sum_in(&Rect::new(0, 0, 1, 1));
+        assert!((full - 9.0 * one).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Scoring detections against ground truth.
+//!
+//! The paper argues qualitatively about partition-boundary "anomalies" —
+//! artifacts "found twice (once in each half of the image), ... poorly
+//! identified ..., or not found at all" (§II). Because our scenes are
+//! synthetic we can quantify exactly that: matched detections, misses,
+//! spurious detections and duplicates.
+
+use pmcmc_imaging::Circle;
+
+/// Result of matching a detected configuration against ground truth.
+#[derive(Debug, Clone)]
+pub struct MatchResult {
+    /// `(truth index, detection index, centre distance)` matched pairs.
+    pub matches: Vec<(usize, usize, f64)>,
+    /// Truth circles with no matching detection (the "not found at all"
+    /// anomaly).
+    pub missed: Vec<usize>,
+    /// Detections matching no truth circle and not near a matched truth
+    /// circle (pure false positives).
+    pub spurious: Vec<usize>,
+    /// Unmatched detections within matching distance of an
+    /// already-matched truth circle — the "found twice" boundary anomaly.
+    pub duplicates: Vec<usize>,
+    /// Number of truth circles.
+    pub truth_count: usize,
+    /// Number of detections.
+    pub detected_count: usize,
+}
+
+impl MatchResult {
+    /// Precision: matched / detected (1 when nothing was detected and
+    /// nothing exists).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        if self.detected_count == 0 {
+            return if self.truth_count == 0 { 1.0 } else { 0.0 };
+        }
+        self.matches.len() as f64 / self.detected_count as f64
+    }
+
+    /// Recall: matched / truth.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        if self.truth_count == 0 {
+            return 1.0;
+        }
+        self.matches.len() as f64 / self.truth_count as f64
+    }
+
+    /// F1 score.
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Root-mean-square centre error over matches.
+    #[must_use]
+    pub fn position_rmse(&self) -> f64 {
+        if self.matches.is_empty() {
+            return 0.0;
+        }
+        (self.matches.iter().map(|&(_, _, d)| d * d).sum::<f64>() / self.matches.len() as f64)
+            .sqrt()
+    }
+
+    /// Total anomaly count: misses + spurious + duplicates. Zero means the
+    /// paper's "no apparent anomalies" state.
+    #[must_use]
+    pub fn anomaly_count(&self) -> usize {
+        self.missed.len() + self.spurious.len() + self.duplicates.len()
+    }
+}
+
+/// Greedily matches detections to ground truth by ascending centre
+/// distance, accepting pairs closer than `max_dist`. Greedy matching on
+/// sorted distances is optimal enough for well-separated cell scenes and
+/// is deterministic.
+#[must_use]
+pub fn match_circles(truth: &[Circle], detected: &[Circle], max_dist: f64) -> MatchResult {
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (ti, t) in truth.iter().enumerate() {
+        for (di, d) in detected.iter().enumerate() {
+            let dist = t.centre_distance(d);
+            if dist <= max_dist {
+                pairs.push((dist, ti, di));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut truth_used = vec![false; truth.len()];
+    let mut det_used = vec![false; detected.len()];
+    let mut matches = Vec::new();
+    for (dist, ti, di) in &pairs {
+        if !truth_used[*ti] && !det_used[*di] {
+            truth_used[*ti] = true;
+            det_used[*di] = true;
+            matches.push((*ti, *di, *dist));
+        }
+    }
+
+    let missed: Vec<usize> = (0..truth.len()).filter(|&i| !truth_used[i]).collect();
+    let mut duplicates = Vec::new();
+    let mut spurious = Vec::new();
+    for di in (0..detected.len()).filter(|&i| !det_used[i]) {
+        let near_matched_truth = truth
+            .iter()
+            .enumerate()
+            .any(|(ti, t)| truth_used[ti] && t.centre_distance(&detected[di]) <= max_dist);
+        if near_matched_truth {
+            duplicates.push(di);
+        } else {
+            spurious.push(di);
+        }
+    }
+
+    MatchResult {
+        matches,
+        missed,
+        spurious,
+        duplicates,
+        truth_count: truth.len(),
+        detected_count: detected.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let truth = vec![Circle::new(10.0, 10.0, 5.0), Circle::new(40.0, 40.0, 5.0)];
+        let det = truth.clone();
+        let m = match_circles(&truth, &det, 3.0);
+        assert_eq!(m.matches.len(), 2);
+        assert_eq!(m.anomaly_count(), 0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.position_rmse(), 0.0);
+    }
+
+    #[test]
+    fn miss_and_spurious() {
+        let truth = vec![Circle::new(10.0, 10.0, 5.0), Circle::new(40.0, 40.0, 5.0)];
+        let det = vec![Circle::new(10.5, 10.0, 5.0), Circle::new(80.0, 80.0, 5.0)];
+        let m = match_circles(&truth, &det, 3.0);
+        assert_eq!(m.matches.len(), 1);
+        assert_eq!(m.missed, vec![1]);
+        assert_eq!(m.spurious, vec![1]);
+        assert!(m.duplicates.is_empty());
+        assert!((m.precision() - 0.5).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_detection_flagged() {
+        // Two detections on one truth circle: the boundary anomaly.
+        let truth = vec![Circle::new(20.0, 20.0, 5.0)];
+        let det = vec![Circle::new(19.5, 20.0, 5.0), Circle::new(20.5, 20.0, 5.0)];
+        let m = match_circles(&truth, &det, 3.0);
+        assert_eq!(m.matches.len(), 1);
+        assert_eq!(m.duplicates.len(), 1);
+        assert!(m.spurious.is_empty());
+        assert_eq!(m.anomaly_count(), 1);
+    }
+
+    #[test]
+    fn greedy_prefers_closest() {
+        let truth = vec![Circle::new(10.0, 10.0, 5.0)];
+        let det = vec![Circle::new(12.0, 10.0, 5.0), Circle::new(10.1, 10.0, 5.0)];
+        let m = match_circles(&truth, &det, 5.0);
+        assert_eq!(m.matches.len(), 1);
+        assert_eq!(m.matches[0].1, 1, "closer detection wins");
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = match_circles(&[], &[], 3.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        let m2 = match_circles(&[Circle::new(1.0, 1.0, 2.0)], &[], 3.0);
+        assert_eq!(m2.recall(), 0.0);
+        assert_eq!(m2.precision(), 0.0);
+        assert_eq!(m2.missed.len(), 1);
+        let m3 = match_circles(&[], &[Circle::new(1.0, 1.0, 2.0)], 3.0);
+        assert_eq!(m3.precision(), 0.0);
+        assert_eq!(m3.spurious.len(), 1);
+    }
+
+    #[test]
+    fn rmse_computed_over_matches() {
+        let truth = vec![Circle::new(0.0, 0.0, 5.0)];
+        let det = vec![Circle::new(3.0, 4.0, 5.0)];
+        let m = match_circles(&truth, &det, 6.0);
+        assert!((m.position_rmse() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,488 @@
+//! Proposal builders for the seven move kinds (§III).
+//!
+//! Each builder returns an [`Edit`] plus the move-specific part of the
+//! log Metropolis–Hastings ratio:
+//!
+//! ```text
+//! log α = Δlog posterior + [log q(reverse) − log q(forward) + log|J|]
+//!                          \_________ Proposal::log_q _________/
+//! ```
+//!
+//! where `q` includes the move-kind weight, the selection probability and
+//! any auxiliary-variable densities, and `|J|` is the Jacobian of the
+//! dimension-matching transformation (reversible-jump MCMC, Green 1995 —
+//! the paper's transition kernel, §III).
+
+use crate::config::{Configuration, Edit};
+use crate::math::normal_logpdf;
+use crate::model::NucleiModel;
+use crate::params::{MoveKind, MoveWeights};
+use crate::rng::standard_normal;
+use pmcmc_imaging::Circle;
+use rand::Rng;
+
+/// A constructed proposal awaiting evaluation.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// Which move kind produced it.
+    pub kind: MoveKind,
+    /// The state change.
+    pub edit: Edit,
+    /// `log q(reverse) − log q(forward) + log|J|`, excluding any term that
+    /// must be evaluated on the post-move state (see
+    /// [`Proposal::needs_post_pairs`]).
+    pub log_q: f64,
+    /// When true (split only), the sampler must add
+    /// `−ln(#close pairs in the post state)` to `log_q`: the reverse merge
+    /// selects this specific pair among all close pairs.
+    pub needs_post_pairs: bool,
+}
+
+/// Builds a proposal of the given kind, or `None` when the kind cannot be
+/// proposed from the current state (empty configuration, no mergeable
+/// pair, irreversible split geometry). A `None` counts as a rejected
+/// iteration — the chain does not move — which keeps the kernel valid.
+pub fn propose(
+    kind: MoveKind,
+    config: &Configuration,
+    model: &NucleiModel,
+    weights: &MoveWeights,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    match kind {
+        MoveKind::Birth => propose_birth(config, model, weights, rng),
+        MoveKind::Death => propose_death(config, model, weights, rng),
+        MoveKind::Split => propose_split(config, model, weights, rng),
+        MoveKind::Merge => propose_merge(config, model, weights, rng),
+        MoveKind::Replace => propose_replace(config, model, rng),
+        MoveKind::Translate => propose_translate(config, model, rng),
+        MoveKind::Resize => propose_resize(config, model, rng),
+    }
+}
+
+fn ln(x: f64) -> f64 {
+    x.ln()
+}
+
+fn propose_birth(
+    config: &Configuration,
+    model: &NucleiModel,
+    weights: &MoveWeights,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    let p = &model.params;
+    let c = Circle::new(
+        rng.gen_range(0.0..f64::from(p.width)),
+        rng.gen_range(0.0..f64::from(p.height)),
+        p.radius_prior.sample(rng),
+    );
+    let k = config.len() as f64;
+    // forward: w_birth · (1/WH) · φ_r(r);  reverse: w_death · 1/(k+1).
+    let log_forward = ln(weights.birth) + p.position_log_density() + p.radius_prior.logpdf(c.r);
+    let log_reverse = ln(weights.death) - ln(k + 1.0);
+    Some(Proposal {
+        kind: MoveKind::Birth,
+        edit: Edit::add_one(c),
+        log_q: log_reverse - log_forward,
+        needs_post_pairs: false,
+    })
+}
+
+fn propose_death(
+    config: &Configuration,
+    model: &NucleiModel,
+    weights: &MoveWeights,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    if config.is_empty() {
+        return None;
+    }
+    let p = &model.params;
+    let k = config.len();
+    let i = rng.gen_range(0..k);
+    let c = config.circle(i);
+    let log_forward = ln(weights.death) - ln(k as f64);
+    let log_reverse = ln(weights.birth) + p.position_log_density() + p.radius_prior.logpdf(c.r);
+    Some(Proposal {
+        kind: MoveKind::Death,
+        edit: Edit::remove_one(i),
+        log_q: log_reverse - log_forward,
+        needs_post_pairs: false,
+    })
+}
+
+fn propose_replace(
+    config: &Configuration,
+    model: &NucleiModel,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    if config.is_empty() {
+        return None;
+    }
+    let p = &model.params;
+    let i = rng.gen_range(0..config.len());
+    let old = config.circle(i);
+    let new = Circle::new(
+        rng.gen_range(0.0..f64::from(p.width)),
+        rng.gen_range(0.0..f64::from(p.height)),
+        p.radius_prior.sample(rng),
+    );
+    // Kind weight, selection and the uniform position density cancel; the
+    // radius proposal densities do not.
+    let log_q = p.radius_prior.logpdf(old.r) - p.radius_prior.logpdf(new.r);
+    Some(Proposal {
+        kind: MoveKind::Replace,
+        edit: Edit::replace_one(i, new),
+        log_q,
+        needs_post_pairs: false,
+    })
+}
+
+fn propose_translate(
+    config: &Configuration,
+    model: &NucleiModel,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    if config.is_empty() {
+        return None;
+    }
+    let i = rng.gen_range(0..config.len());
+    let old = config.circle(i);
+    let sd = model.scales.translate_sd;
+    let new = Circle::new(
+        old.x + sd * standard_normal(rng),
+        old.y + sd * standard_normal(rng),
+        old.r,
+    );
+    // Symmetric Gaussian step with identical selection both ways: q cancels.
+    Some(Proposal {
+        kind: MoveKind::Translate,
+        edit: Edit::replace_one(i, new),
+        log_q: 0.0,
+        needs_post_pairs: false,
+    })
+}
+
+fn propose_resize(
+    config: &Configuration,
+    model: &NucleiModel,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    if config.is_empty() {
+        return None;
+    }
+    let i = rng.gen_range(0..config.len());
+    let old = config.circle(i);
+    let new = Circle::new(
+        old.x,
+        old.y,
+        old.r + model.scales.resize_sd * standard_normal(rng),
+    );
+    Some(Proposal {
+        kind: MoveKind::Resize,
+        edit: Edit::replace_one(i, new),
+        log_q: 0.0,
+        needs_post_pairs: false,
+    })
+}
+
+/// Split transformation: parent `(x, y, r)` with auxiliaries
+/// `u1, u2 ~ N(0, σ_s)`, `u3 ~ U(f, 1−f)` maps to children
+///
+/// ```text
+/// c1 = (x − u1, y − u2, 2·r·u3)
+/// c2 = (x + u1, y + u2, 2·r·(1 − u3))
+/// ```
+///
+/// which is a bijection with `|J| = 16·r`. The unordered child pair is
+/// reached by exactly two auxiliary values (`u` and its mirror), hence the
+/// `ln 2` terms below.
+fn propose_split(
+    config: &Configuration,
+    model: &NucleiModel,
+    weights: &MoveWeights,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    if config.is_empty() {
+        return None;
+    }
+    let s = &model.scales;
+    let k = config.len();
+    let i = rng.gen_range(0..k);
+    let parent = config.circle(i);
+    let u1 = s.split_sd * standard_normal(rng);
+    let u2 = s.split_sd * standard_normal(rng);
+    let f = s.split_frac_min;
+    let u3 = rng.gen_range(f..1.0 - f);
+    let c1 = Circle::new(parent.x - u1, parent.y - u2, 2.0 * parent.r * u3);
+    let c2 = Circle::new(parent.x + u1, parent.y + u2, 2.0 * parent.r * (1.0 - u3));
+    // The reverse merge only selects pairs closer than merge_max_dist; a
+    // wider split can never be reversed, so propose() declares it invalid.
+    if c1.centre_distance(&c2) >= s.merge_max_dist {
+        return None;
+    }
+    let log_forward = ln(weights.split) - ln(k as f64)
+        + std::f64::consts::LN_2 // two aux values reach the unordered pair
+        + normal_logpdf(u1, 0.0, s.split_sd)
+        + normal_logpdf(u2, 0.0, s.split_sd)
+        - ln(1.0 - 2.0 * f);
+    // Reverse: w_merge · 1/#close-pairs(post); the pair count needs the
+    // post state, the sampler adds it after applying the edit.
+    let log_reverse_partial = ln(weights.merge);
+    let log_jacobian = ln(16.0 * parent.r);
+    Some(Proposal {
+        kind: MoveKind::Split,
+        edit: Edit {
+            remove: vec![i],
+            add: vec![c1, c2],
+        },
+        log_q: log_reverse_partial - log_forward + log_jacobian,
+        needs_post_pairs: true,
+    })
+}
+
+fn propose_merge(
+    config: &Configuration,
+    model: &NucleiModel,
+    weights: &MoveWeights,
+    rng: &mut impl Rng,
+) -> Option<Proposal> {
+    let s = &model.scales;
+    let pairs = config.list_close_pairs(s.merge_max_dist);
+    if pairs.is_empty() {
+        return None;
+    }
+    let (i, j) = pairs[rng.gen_range(0..pairs.len())];
+    let a = config.circle(i);
+    let b = config.circle(j);
+    let merged = Circle::new(
+        0.5 * (a.x + b.x),
+        0.5 * (a.y + b.y),
+        0.5 * (a.r + b.r),
+    );
+    // Recover the auxiliaries the reverse split would need.
+    let u1 = 0.5 * (b.x - a.x);
+    let u2 = 0.5 * (b.y - a.y);
+    let u3 = a.r / (a.r + b.r);
+    let f = s.split_frac_min;
+    if u3 < f || u3 > 1.0 - f {
+        // The reverse split could never generate this pair.
+        return None;
+    }
+    let k_after = (config.len() - 1) as f64;
+    let log_forward = ln(weights.merge) - ln(pairs.len() as f64);
+    let log_reverse = ln(weights.split) - ln(k_after)
+        + std::f64::consts::LN_2
+        + normal_logpdf(u1, 0.0, s.split_sd)
+        + normal_logpdf(u2, 0.0, s.split_sd)
+        - ln(1.0 - 2.0 * f);
+    // Down-move Jacobian is the inverse of the split's: 1/(16·r_merged).
+    let log_jacobian = -ln(16.0 * merged.r);
+    Some(Proposal {
+        kind: MoveKind::Merge,
+        edit: Edit {
+            remove: vec![i, j],
+            add: vec![merged],
+        },
+        log_q: log_reverse - log_forward + log_jacobian,
+        needs_post_pairs: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelParams;
+    use crate::rng::Xoshiro256;
+    use pmcmc_imaging::GrayImage;
+
+    fn test_model() -> NucleiModel {
+        let params = ModelParams::new(128, 128, 6.0, 8.0);
+        let img = GrayImage::from_fn(128, 128, |x, y| ((x + y) % 5) as f32 / 5.0);
+        NucleiModel::new(&img, params)
+    }
+
+    fn base_config(model: &NucleiModel) -> Configuration {
+        Configuration::from_circles(
+            model,
+            &[
+                Circle::new(30.0, 30.0, 8.0),
+                Circle::new(38.0, 31.0, 7.0),
+                Circle::new(90.0, 90.0, 9.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn birth_always_constructs() {
+        let m = test_model();
+        let cfg = Configuration::empty(&m);
+        let mut rng = Xoshiro256::new(1);
+        let w = MoveWeights::default();
+        for _ in 0..50 {
+            let p = propose(MoveKind::Birth, &cfg, &m, &w, &mut rng).unwrap();
+            assert_eq!(p.edit.add.len(), 1);
+            assert!(p.edit.remove.is_empty());
+            assert!(p.log_q.is_finite());
+            assert!(m.params.in_support(&p.edit.add[0]));
+        }
+    }
+
+    #[test]
+    fn death_on_empty_is_invalid() {
+        let m = test_model();
+        let cfg = Configuration::empty(&m);
+        let mut rng = Xoshiro256::new(2);
+        let w = MoveWeights::default();
+        assert!(propose(MoveKind::Death, &cfg, &m, &w, &mut rng).is_none());
+        assert!(propose(MoveKind::Translate, &cfg, &m, &w, &mut rng).is_none());
+        assert!(propose(MoveKind::Resize, &cfg, &m, &w, &mut rng).is_none());
+        assert!(propose(MoveKind::Replace, &cfg, &m, &w, &mut rng).is_none());
+        assert!(propose(MoveKind::Split, &cfg, &m, &w, &mut rng).is_none());
+        assert!(propose(MoveKind::Merge, &cfg, &m, &w, &mut rng).is_none());
+    }
+
+    #[test]
+    fn birth_death_log_q_are_antisymmetric() {
+        // Apply a birth, then compute the death that removes the same
+        // circle: the q-ratios must be exact negatives (detailed balance).
+        let m = test_model();
+        let mut rng = Xoshiro256::new(3);
+        let w = MoveWeights::default();
+        let mut cfg = base_config(&m);
+        let birth = propose(MoveKind::Birth, &cfg, &m, &w, &mut rng).unwrap();
+        let c = birth.edit.add[0];
+        cfg.apply(&birth.edit, &m);
+        // Build the death log_q for the newly added circle by hand.
+        let k = cfg.len();
+        let log_forward = w.death.ln() - (k as f64).ln();
+        let log_reverse =
+            w.birth.ln() + m.params.position_log_density() + m.params.radius_prior.logpdf(c.r);
+        let death_log_q = log_reverse - log_forward;
+        assert!(
+            (birth.log_q + death_log_q).abs() < 1e-9,
+            "birth {} vs death {}",
+            birth.log_q,
+            death_log_q
+        );
+    }
+
+    #[test]
+    fn translate_resize_have_zero_log_q() {
+        let m = test_model();
+        let cfg = base_config(&m);
+        let mut rng = Xoshiro256::new(4);
+        let w = MoveWeights::default();
+        for _ in 0..20 {
+            let t = propose(MoveKind::Translate, &cfg, &m, &w, &mut rng).unwrap();
+            assert_eq!(t.log_q, 0.0);
+            assert_eq!(t.edit.remove.len(), 1);
+            assert_eq!(t.edit.add.len(), 1);
+            let old = cfg.circle(t.edit.remove[0]);
+            assert_eq!(t.edit.add[0].r, old.r, "translate keeps radius");
+            let r = propose(MoveKind::Resize, &cfg, &m, &w, &mut rng).unwrap();
+            let old = cfg.circle(r.edit.remove[0]);
+            assert_eq!(r.edit.add[0].x, old.x, "resize keeps position");
+        }
+    }
+
+    #[test]
+    fn split_preserves_centre_of_mass_and_mean_radius() {
+        let m = test_model();
+        let cfg = base_config(&m);
+        let mut rng = Xoshiro256::new(5);
+        let w = MoveWeights::default();
+        let mut found = 0;
+        for _ in 0..100 {
+            if let Some(p) = propose(MoveKind::Split, &cfg, &m, &w, &mut rng) {
+                found += 1;
+                let parent = cfg.circle(p.edit.remove[0]);
+                let (c1, c2) = (p.edit.add[0], p.edit.add[1]);
+                assert!((0.5 * (c1.x + c2.x) - parent.x).abs() < 1e-9);
+                assert!((0.5 * (c1.y + c2.y) - parent.y).abs() < 1e-9);
+                assert!((0.5 * (c1.r + c2.r) - parent.r).abs() < 1e-9);
+                assert!(c1.centre_distance(&c2) < m.scales.merge_max_dist);
+            }
+        }
+        assert!(found > 50, "most splits should be geometrically valid");
+    }
+
+    #[test]
+    fn merge_requires_close_pair() {
+        let m = test_model();
+        let mut rng = Xoshiro256::new(6);
+        let w = MoveWeights::default();
+        let far = Configuration::from_circles(
+            &m,
+            &[Circle::new(20.0, 20.0, 8.0), Circle::new(100.0, 100.0, 8.0)],
+        );
+        assert!(propose(MoveKind::Merge, &far, &m, &w, &mut rng).is_none());
+        let near = base_config(&m); // circles 0 and 1 are 8.06 apart
+        let p = propose(MoveKind::Merge, &near, &m, &w, &mut rng).unwrap();
+        assert_eq!(p.edit.remove.len(), 2);
+        assert_eq!(p.edit.add.len(), 1);
+    }
+
+    #[test]
+    fn split_then_merge_reconstructs_parent() {
+        let m = test_model();
+        let mut rng = Xoshiro256::new(7);
+        let w = MoveWeights::default();
+        let mut cfg = Configuration::from_circles(&m, &[Circle::new(60.0, 60.0, 9.0)]);
+        let parent = cfg.circle(0);
+        let split = loop {
+            if let Some(p) = propose(MoveKind::Split, &cfg, &m, &w, &mut rng) {
+                break p;
+            }
+        };
+        cfg.apply(&split.edit, &m);
+        assert_eq!(cfg.len(), 2);
+        // Merging the two children must reconstruct the parent exactly.
+        let merge = propose(MoveKind::Merge, &cfg, &m, &w, &mut rng).unwrap();
+        let rebuilt = merge.edit.add[0];
+        assert!((rebuilt.x - parent.x).abs() < 1e-9);
+        assert!((rebuilt.y - parent.y).abs() < 1e-9);
+        assert!((rebuilt.r - parent.r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_merge_log_q_antisymmetric_up_to_pair_counts() {
+        // For a single-parent configuration, split to children then compute
+        // the merge q of the same pair; including the post-state pair count
+        // for the split (exactly 1 close pair), the two log_q values must
+        // be negatives of each other.
+        let m = test_model();
+        let mut rng = Xoshiro256::new(8);
+        let w = MoveWeights::default();
+        let mut cfg = Configuration::from_circles(&m, &[Circle::new(60.0, 60.0, 9.0)]);
+        let split = loop {
+            if let Some(p) = propose(MoveKind::Split, &cfg, &m, &w, &mut rng) {
+                break p;
+            }
+        };
+        cfg.apply(&split.edit, &m);
+        let pairs_post = cfg.count_close_pairs(m.scales.merge_max_dist);
+        assert_eq!(pairs_post, 1);
+        let split_total_log_q = split.log_q - (pairs_post as f64).ln();
+        let merge = propose(MoveKind::Merge, &cfg, &m, &w, &mut rng).unwrap();
+        assert!(
+            (split_total_log_q + merge.log_q).abs() < 1e-9,
+            "split {} vs merge {}",
+            split_total_log_q,
+            merge.log_q
+        );
+    }
+
+    #[test]
+    fn merge_rejects_extreme_radius_ratio() {
+        let m = test_model();
+        let mut rng = Xoshiro256::new(9);
+        let w = MoveWeights::default();
+        // u3 = 2/(2+14) = 0.125 < split_frac_min = 0.25.
+        let cfg = Configuration::from_circles(
+            &m,
+            &[Circle::new(60.0, 60.0, 2.0), Circle::new(64.0, 60.0, 14.0)],
+        );
+        assert!(propose(MoveKind::Merge, &cfg, &m, &w, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,244 @@
+//! Posterior sample collection.
+//!
+//! §II: "The conventional use is to allow the chain to reach equilibrium
+//! then to take samples of the chain's state at regular intervals, analysis
+//! of these samples will reveal the stationary distribution." §I highlights
+//! that MCMC can report "the relative probabilities of these different
+//! interpretations" (e.g. one blob = one cell vs two overlapping cells).
+//!
+//! [`SampleCollector`] accumulates two marginals that expose exactly that:
+//! the posterior distribution of the artifact *count*, and a per-region
+//! *occupancy map* (posterior probability that a region is covered by some
+//! artifact).
+
+use crate::config::Configuration;
+use pmcmc_imaging::GrayImage;
+
+/// Posterior distribution over the artifact count.
+#[derive(Debug, Clone, Default)]
+pub struct CountDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CountDistribution {
+    /// Records one sample with `k` artifacts.
+    pub fn record(&mut self, k: usize) {
+        if self.counts.len() <= k {
+            self.counts.resize(k + 1, 0);
+        }
+        self.counts[k] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub const fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Posterior probability of exactly `k` artifacts.
+    #[must_use]
+    pub fn probability(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts.get(k).copied().unwrap_or(0) as f64 / self.total as f64
+    }
+
+    /// Posterior mean count.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as f64 * c as f64)
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Posterior mode (smallest maximiser).
+    #[must_use]
+    pub fn mode(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map_or(0, |(k, _)| k)
+    }
+
+    /// The shortest central credible interval `[lo, hi]` containing at
+    /// least `mass` of the posterior (equal-tail construction).
+    #[must_use]
+    pub fn credible_interval(&self, mass: f64) -> (usize, usize) {
+        if self.total == 0 {
+            return (0, 0);
+        }
+        let tail = (1.0 - mass.clamp(0.0, 1.0)) / 2.0;
+        let mut acc = 0.0;
+        let mut lo = 0;
+        for (k, &c) in self.counts.iter().enumerate() {
+            acc += c as f64 / self.total as f64;
+            if acc > tail {
+                lo = k;
+                break;
+            }
+        }
+        let mut acc = 0.0;
+        let mut hi = self.counts.len().saturating_sub(1);
+        for (k, &c) in self.counts.iter().enumerate().rev() {
+            acc += c as f64 / self.total as f64;
+            if acc > tail {
+                hi = k;
+                break;
+            }
+        }
+        (lo, hi.max(lo))
+    }
+}
+
+/// Collects thinned posterior samples: count distribution plus a
+/// downsampled occupancy map.
+#[derive(Debug, Clone)]
+pub struct SampleCollector {
+    /// Record a sample every `interval` iterations.
+    pub interval: u64,
+    /// Posterior count marginal.
+    pub count: CountDistribution,
+    cell: u32,
+    cols: u32,
+    rows: u32,
+    hits: Vec<u64>,
+    next_at: u64,
+}
+
+impl SampleCollector {
+    /// Creates a collector for a `width × height` image with occupancy
+    /// cells of `cell × cell` pixels, sampling every `interval` iterations.
+    #[must_use]
+    pub fn new(width: u32, height: u32, cell: u32, interval: u64) -> Self {
+        let cell = cell.max(1);
+        let cols = width.div_ceil(cell);
+        let rows = height.div_ceil(cell);
+        Self {
+            interval: interval.max(1),
+            count: CountDistribution::default(),
+            cell,
+            cols,
+            rows,
+            hits: vec![0; (cols as usize) * (rows as usize)],
+            next_at: interval.max(1),
+        }
+    }
+
+    /// Offers the current state; records it when the iteration counter has
+    /// crossed the next sampling point. Returns whether a sample was taken.
+    pub fn observe(&mut self, iteration: u64, config: &Configuration) -> bool {
+        if iteration < self.next_at {
+            return false;
+        }
+        self.next_at = iteration + self.interval;
+        self.count.record(config.len());
+        for row in 0..self.rows {
+            for col in 0..self.cols {
+                let cx = f64::from(col * self.cell) + f64::from(self.cell) / 2.0;
+                let cy = f64::from(row * self.cell) + f64::from(self.cell) / 2.0;
+                let covered = config.circles().iter().any(|c| {
+                    let dx = cx - c.x;
+                    let dy = cy - c.y;
+                    dx * dx + dy * dy <= c.r * c.r
+                });
+                if covered {
+                    self.hits[(row * self.cols + col) as usize] += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// The occupancy map as an image (cell resolution): posterior
+    /// probability that each cell centre is covered by an artifact.
+    #[must_use]
+    pub fn occupancy_map(&self) -> GrayImage {
+        let n = self.count.samples().max(1) as f32;
+        GrayImage::from_fn(self.cols, self.rows, |x, y| {
+            self.hits[(y * self.cols + x) as usize] as f32 / n
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NucleiModel;
+    use crate::params::ModelParams;
+    use pmcmc_imaging::Circle;
+
+    fn model() -> NucleiModel {
+        let img = GrayImage::filled(64, 64, 0.1);
+        NucleiModel::new(&img, ModelParams::new(64, 64, 3.0, 8.0))
+    }
+
+    #[test]
+    fn count_distribution_statistics() {
+        let mut d = CountDistribution::default();
+        for _ in 0..50 {
+            d.record(3);
+        }
+        for _ in 0..30 {
+            d.record(4);
+        }
+        for _ in 0..20 {
+            d.record(2);
+        }
+        assert_eq!(d.samples(), 100);
+        assert!((d.probability(3) - 0.5).abs() < 1e-12);
+        assert_eq!(d.mode(), 3);
+        assert!((d.mean() - 3.1).abs() < 1e-9);
+        let (lo, hi) = d.credible_interval(0.9);
+        assert!(lo <= 3 && hi >= 3);
+        assert_eq!(d.probability(99), 0.0);
+    }
+
+    #[test]
+    fn empty_distribution_is_safe() {
+        let d = CountDistribution::default();
+        assert_eq!(d.mean(), 0.0);
+        assert_eq!(d.mode(), 0);
+        assert_eq!(d.credible_interval(0.95), (0, 0));
+    }
+
+    #[test]
+    fn collector_samples_at_interval() {
+        let m = model();
+        let cfg = Configuration::from_circles(&m, &[Circle::new(32.0, 32.0, 10.0)]);
+        let mut col = SampleCollector::new(64, 64, 4, 100);
+        let mut taken = 0;
+        for it in 1..=1000u64 {
+            if col.observe(it, &cfg) {
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, 10);
+        assert_eq!(col.count.samples(), 10);
+        assert_eq!(col.count.mode(), 1);
+    }
+
+    #[test]
+    fn occupancy_map_reflects_circle() {
+        let m = model();
+        let cfg = Configuration::from_circles(&m, &[Circle::new(32.0, 32.0, 10.0)]);
+        let mut col = SampleCollector::new(64, 64, 4, 1);
+        for it in 1..=20u64 {
+            col.observe(it, &cfg);
+        }
+        let map = col.occupancy_map();
+        // Cell containing the circle centre: always covered.
+        assert!((map.get(8, 8) - 1.0).abs() < 1e-6);
+        // Far corner: never covered.
+        assert!(map.get(0, 0) < 1e-6);
+    }
+}

@@ -1,0 +1,409 @@
+//! Per-partition workspace for the parallel `Ml` (local move) phases.
+//!
+//! §V: during a local phase the image is tiled by a random-offset grid and
+//! each tile runs translate/resize moves concurrently, under the safeguard
+//! that only features whose full prior/likelihood "considered area"
+//! (disk + interaction margin) lies strictly inside the tile may be
+//! selected or created by a move. Each worker operates on a private copy of
+//! its tile's coverage sub-grid plus the circles centred in the tile; the
+//! driver merges the results back afterwards ("duplicate, arrange for
+//! parallel execution, and merge").
+
+use crate::config::Configuration;
+use crate::coverage::CoverageGrid;
+use crate::diagnostics::AcceptanceStats;
+use crate::model::NucleiModel;
+use crate::params::MoveKind;
+use crate::rng::{standard_normal, Xoshiro256};
+use crate::spatial::SpatialGrid;
+use pmcmc_imaging::{Circle, Rect};
+use rand::Rng;
+
+/// One circle tracked by a tile worker.
+#[derive(Debug, Clone, Copy)]
+struct TileEntry {
+    /// Index of this circle in the master configuration.
+    master_idx: usize,
+    /// Current (possibly moved) circle.
+    circle: Circle,
+    /// Original circle at phase start (to detect changes).
+    original: Circle,
+    /// Whether the §V safeguard allows modifying it.
+    eligible: bool,
+}
+
+/// A private tile workspace: sub-coverage copy + tile-local circles.
+#[derive(Debug, Clone)]
+pub struct TileWorkspace {
+    rect: Rect,
+    margin: f64,
+    entries: Vec<TileEntry>,
+    eligible: Vec<usize>,
+    /// Spatial index over entry circles (entry indices as ids), so overlap
+    /// deltas cost O(neighbours) rather than O(tile circles) — matching
+    /// the master sampler's per-iteration cost, which the §VI model
+    /// assumes (τ_l identical in and out of tiles).
+    spatial: SpatialGrid,
+    coverage: CoverageGrid,
+    /// Accumulated log-likelihood delta since phase start.
+    pub d_log_lik: f64,
+    /// Accumulated pairwise-overlap-area delta since phase start.
+    pub d_overlap: f64,
+    /// Accumulated radius-prior log-density delta since phase start.
+    pub d_radius_logprior: f64,
+    /// Acceptance accounting for this worker.
+    pub stats: AcceptanceStats,
+}
+
+impl TileWorkspace {
+    /// Builds a workspace for `rect` from the master configuration.
+    ///
+    /// All circles *centred* in the tile are pulled in (circles centred
+    /// elsewhere cannot interact with any eligible circle: an eligible
+    /// circle's considered area keeps a distance of at least `r + r_max`
+    /// from the boundary). The coverage sub-grid is copied as-is, so the
+    /// contributions of outside circles whose disks spill into the tile
+    /// are preserved.
+    #[must_use]
+    pub fn new(master: &Configuration, model: &NucleiModel, rect: Rect) -> Self {
+        let margin = model.interaction_margin();
+        let mut entries = Vec::new();
+        let mut eligible = Vec::new();
+        let mut spatial = SpatialGrid::new(
+            model.params.width,
+            model.params.height,
+            2.0 * model.r_max(),
+        );
+        for (i, &c) in master.circles().iter().enumerate() {
+            if rect.contains_point(c.x, c.y) {
+                let ok = rect.contains_circle(&c, margin);
+                if ok {
+                    eligible.push(entries.len());
+                }
+                spatial.insert(entries.len(), &c);
+                entries.push(TileEntry {
+                    master_idx: i,
+                    circle: c,
+                    original: c,
+                    eligible: ok,
+                });
+            }
+        }
+        Self {
+            rect,
+            margin,
+            entries,
+            eligible,
+            spatial,
+            coverage: master.coverage().crop(rect),
+            d_log_lik: 0.0,
+            d_overlap: 0.0,
+            d_radius_logprior: 0.0,
+            stats: AcceptanceStats::new(),
+        }
+    }
+
+    /// The tile rectangle.
+    #[must_use]
+    pub const fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Number of modifiable features — the paper's per-partition iteration
+    /// allocation weight ("in the same proportion as the number of model
+    /// features contained within the partition's boundaries and that may
+    /// be legitimately modified").
+    #[must_use]
+    pub fn eligible_count(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// Total circles tracked (eligible + frozen).
+    #[must_use]
+    pub fn circle_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Runs `n` local iterations (translate with probability
+    /// `p_translate`, else resize).
+    pub fn run_local(
+        &mut self,
+        n: u64,
+        p_translate: f64,
+        model: &NucleiModel,
+        rng: &mut Xoshiro256,
+    ) {
+        for _ in 0..n {
+            self.local_step(p_translate, model, rng);
+        }
+    }
+
+    /// One local iteration; returns whether the move was accepted.
+    pub fn local_step(
+        &mut self,
+        p_translate: f64,
+        model: &NucleiModel,
+        rng: &mut Xoshiro256,
+    ) -> bool {
+        let translate = rng.gen::<f64>() < p_translate;
+        let kind = if translate {
+            MoveKind::Translate
+        } else {
+            MoveKind::Resize
+        };
+        if self.eligible.is_empty() {
+            self.stats.record_invalid(kind);
+            return false;
+        }
+        let ei = self.eligible[rng.gen_range(0..self.eligible.len())];
+        debug_assert!(self.entries[ei].eligible, "eligible list out of sync");
+        let old = self.entries[ei].circle;
+        let candidate = if translate {
+            let sd = model.scales.translate_sd;
+            Circle::new(
+                old.x + sd * standard_normal(rng),
+                old.y + sd * standard_normal(rng),
+                old.r,
+            )
+        } else {
+            Circle::new(
+                old.x,
+                old.y,
+                old.r + model.scales.resize_sd * standard_normal(rng),
+            )
+        };
+
+        // Support + safeguard: the candidate must stay in the radius
+        // prior's support and keep its considered area inside the tile
+        // (which keeps the eligible set invariant for the whole phase).
+        if !model.params.radius_prior.in_support(candidate.r)
+            || !self.rect.contains_circle(&candidate, self.margin)
+        {
+            self.stats.record_reject(kind);
+            return false;
+        }
+
+        // Overlap delta against neighbouring tile circles (only entries
+        // within interaction reach can contribute a non-zero lens term).
+        let mut d_overlap = 0.0;
+        let reach_new = candidate.r + model.r_max();
+        self.spatial.for_neighbors(candidate.x, candidate.y, reach_new, |j| {
+            if j != ei {
+                d_overlap += candidate.intersection_area(&self.entries[j].circle);
+            }
+        });
+        let reach_old = old.r + model.r_max();
+        self.spatial.for_neighbors(old.x, old.y, reach_old, |j| {
+            if j != ei {
+                d_overlap -= old.intersection_area(&self.entries[j].circle);
+            }
+        });
+
+        let gain = &model.gain;
+        let d_rem = self.coverage.remove_circle(&old, gain);
+        let d_add = self.coverage.add_circle(&candidate, gain);
+        let d_log_lik = d_rem + d_add;
+
+        let d_radius = model.params.radius_prior.logpdf(candidate.r)
+            - model.params.radius_prior.logpdf(old.r);
+
+        let log_alpha = d_log_lik + d_radius - model.params.overlap_gamma * d_overlap;
+        let accept = log_alpha >= 0.0 || rng.gen::<f64>().ln() < log_alpha;
+        if accept {
+            self.spatial.relocate(ei, &old, &candidate);
+            self.entries[ei].circle = candidate;
+            self.d_log_lik += d_log_lik;
+            self.d_overlap += d_overlap;
+            self.d_radius_logprior += d_radius;
+            self.stats.record_accept(kind);
+        } else {
+            self.coverage.remove_circle(&candidate, gain);
+            self.coverage.add_circle(&old, gain);
+            self.stats.record_reject(kind);
+        }
+        accept
+    }
+
+    /// The `(master index, old circle, new circle)` updates accumulated in
+    /// this phase.
+    #[must_use]
+    pub fn updates(&self) -> Vec<(usize, Circle, Circle)> {
+        self.entries
+            .iter()
+            .filter(|e| e.circle != e.original)
+            .map(|e| (e.master_idx, e.original, e.circle))
+            .collect()
+    }
+
+    /// The mutated coverage sub-grid.
+    #[must_use]
+    pub const fn coverage(&self) -> &CoverageGrid {
+        &self.coverage
+    }
+}
+
+impl Configuration {
+    /// Merges a finished tile workspace back into the master state:
+    /// pastes the coverage sub-grid, applies circle updates and adds the
+    /// accumulated cache deltas. Tiles are disjoint, so merging several
+    /// workspaces from one phase is order-independent.
+    pub fn absorb_tile(&mut self, ws: &TileWorkspace) {
+        self.absorb_tile_parts(ws.coverage(), &ws.updates(), ws.d_log_lik, ws.d_overlap);
+    }
+
+    /// Lower-level merge used by [`Configuration::absorb_tile`]; exposed
+    /// for drivers that ship tile results across threads piecewise.
+    pub fn absorb_tile_parts(
+        &mut self,
+        coverage: &CoverageGrid,
+        updates: &[(usize, Circle, Circle)],
+        d_log_lik: f64,
+        d_overlap: f64,
+    ) {
+        self.paste_coverage(coverage);
+        for &(idx, old, new) in updates {
+            self.update_circle_in_place(idx, old, new);
+        }
+        self.add_cache_deltas(d_log_lik, d_overlap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelParams;
+    use pmcmc_imaging::GrayImage;
+
+    fn model_with_image(size: u32) -> NucleiModel {
+        let params = ModelParams::new(size, size, 8.0, 8.0);
+        let img = GrayImage::from_fn(size, size, |x, y| {
+            // Two bright blobs.
+            let d1 = ((x as f32 - 32.0).powi(2) + (y as f32 - 32.0).powi(2)).sqrt();
+            let d2 = ((x as f32 - 96.0).powi(2) + (y as f32 - 96.0).powi(2)).sqrt();
+            if d1 < 8.0 || d2 < 8.0 {
+                0.9
+            } else {
+                0.1
+            }
+        });
+        NucleiModel::new(&img, params)
+    }
+
+    fn master_config(model: &NucleiModel) -> Configuration {
+        Configuration::from_circles(
+            model,
+            &[
+                Circle::new(30.0, 30.0, 7.0),  // in left tile, interior
+                Circle::new(62.0, 62.0, 7.0),  // near tile boundary
+                Circle::new(96.0, 96.0, 8.0),  // right tile interior
+                Circle::new(100.0, 90.0, 7.5), // right tile interior
+            ],
+        )
+    }
+
+    #[test]
+    fn eligibility_respects_margin() {
+        let model = model_with_image(128);
+        let master = master_config(&model);
+        let tile = Rect::new(0, 0, 64, 64);
+        let ws = TileWorkspace::new(&master, &model, tile);
+        assert_eq!(ws.circle_count(), 2, "two circles centred in tile");
+        // Circle at (30,30) r=7: needs 7 + r_max(16) = 23 clearance: fits.
+        // Circle at (62,62) r=7: 23 > 2 from boundary: frozen.
+        assert_eq!(ws.eligible_count(), 1);
+    }
+
+    #[test]
+    fn eligible_circles_confirmed_by_safeguard_predicate() {
+        let model = model_with_image(128);
+        let master = master_config(&model);
+        for rect in [Rect::new(0, 0, 64, 64), Rect::new(64, 64, 128, 128)] {
+            let ws = TileWorkspace::new(&master, &model, rect);
+            for &ei in &ws.eligible {
+                let e = &ws.entries[ei];
+                assert!(rect.contains_circle(&e.circle, model.interaction_margin()));
+            }
+        }
+    }
+
+    #[test]
+    fn local_steps_keep_master_consistent_after_merge() {
+        let model = model_with_image(128);
+        let mut master = master_config(&model);
+        let lik0 = master.log_lik();
+        let tiles = [Rect::new(0, 0, 64, 64), Rect::new(64, 64, 128, 128)];
+        let mut workspaces: Vec<TileWorkspace> = tiles
+            .iter()
+            .map(|&r| TileWorkspace::new(&master, &model, r))
+            .collect();
+        let mut rng0 = Xoshiro256::new(100);
+        let mut rng1 = Xoshiro256::new(101);
+        workspaces[0].run_local(500, 0.5, &model, &mut rng0);
+        workspaces[1].run_local(500, 0.5, &model, &mut rng1);
+        for ws in &workspaces {
+            master.absorb_tile(ws);
+        }
+        master
+            .verify_consistency(&model)
+            .expect("master consistent after tile merge");
+        // Something should have happened.
+        let moved = workspaces.iter().map(|w| w.updates().len()).sum::<usize>();
+        assert!(moved > 0, "no circle moved in 1000 local iterations");
+        assert!((master.log_lik() - lik0).abs() > 1e-12 || moved == 0);
+    }
+
+    #[test]
+    fn moves_never_leave_considered_area() {
+        let model = model_with_image(128);
+        let master = master_config(&model);
+        let tile = Rect::new(64, 64, 128, 128);
+        let mut ws = TileWorkspace::new(&master, &model, tile);
+        let mut rng = Xoshiro256::new(7);
+        ws.run_local(2000, 0.5, &model, &mut rng);
+        for e in &ws.entries {
+            if e.eligible {
+                assert!(
+                    tile.contains_circle(&e.circle, model.interaction_margin()),
+                    "circle escaped its safeguard area"
+                );
+            } else {
+                assert_eq!(e.circle, e.original, "frozen circle was modified");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tile_records_invalid() {
+        let model = model_with_image(128);
+        let master = Configuration::empty(&model);
+        let tile = Rect::new(0, 0, 64, 64);
+        let mut ws = TileWorkspace::new(&master, &model, tile);
+        let mut rng = Xoshiro256::new(3);
+        assert!(!ws.local_step(0.5, &model, &mut rng));
+        assert_eq!(ws.stats.total_proposed(), 1);
+        assert_eq!(ws.eligible_count(), 0);
+    }
+
+    #[test]
+    fn frozen_circle_interactions_are_counted() {
+        // An eligible circle overlapping a frozen one: the overlap delta of
+        // moving the eligible circle must be reflected in d_overlap.
+        let model = model_with_image(128);
+        let master = Configuration::from_circles(
+            &model,
+            &[
+                Circle::new(32.0, 32.0, 7.0),  // eligible
+                Circle::new(40.0, 32.0, 7.0),  // also in tile
+            ],
+        );
+        let tile = Rect::new(0, 0, 64, 64);
+        let mut ws = TileWorkspace::new(&master, &model, tile);
+        let mut rng = Xoshiro256::new(5);
+        ws.run_local(1000, 1.0, &model, &mut rng);
+        let mut master2 = master.clone();
+        master2.absorb_tile(&ws);
+        master2
+            .verify_consistency(&model)
+            .expect("overlap bookkeeping incl. frozen circles");
+    }
+}

@@ -1,0 +1,228 @@
+//! Statistical validation of the RJMCMC kernel beyond unit scale: these
+//! tests verify *distributional* properties of the chain, which is what
+//! "conserving the properties of the MCMC method" (paper abstract) means
+//! operationally.
+
+use pmcmc_core::math::poisson_logpmf;
+use pmcmc_core::{
+    Configuration, ModelParams, MoveWeights, NucleiModel, SampleCollector, Sampler, Xoshiro256,
+};
+use pmcmc_imaging::{Circle, GrayImage};
+
+/// A model whose likelihood is flat (image exactly between fg and bg) so
+/// the chain must sample the prior exactly.
+fn flat_model(size: u32, lambda: f64, overlap_gamma: f64) -> NucleiModel {
+    let mut params = ModelParams::new(size, size, lambda, 8.0);
+    params.overlap_gamma = overlap_gamma;
+    let img = GrayImage::filled(size, size, 0.5);
+    NucleiModel::new(&img, params)
+}
+
+#[test]
+fn count_marginal_is_poisson_under_flat_likelihood() {
+    let lambda = 4.0;
+    let model = flat_model(64, lambda, 0.0);
+    let mut s = Sampler::new_empty(&model, 99);
+    s.run(20_000);
+    let mut hist = vec![0u64; 40];
+    let n = 80_000u64;
+    for _ in 0..n {
+        s.step();
+        hist[s.config.len().min(39)] += 1;
+    }
+    // Chi-square-style check over the bulk of the distribution.
+    let mut chi2 = 0.0;
+    let mut dof = 0;
+    for k in 0..15usize {
+        let expect = poisson_logpmf(k, lambda).exp() * n as f64;
+        if expect < 50.0 {
+            continue;
+        }
+        let obs = hist[k] as f64;
+        chi2 += (obs - expect) * (obs - expect) / expect;
+        dof += 1;
+    }
+    // Samples are autocorrelated, so the classical threshold doesn't
+    // apply; an effective-sample-size-deflated bound still catches gross
+    // imbalance (wrong Jacobians show up as factors of 2+ per bin).
+    assert!(dof >= 6, "too few testable bins");
+    assert!(
+        chi2 / dof as f64 <= 60.0,
+        "count marginal far from Poisson: chi2/dof = {:.1}",
+        chi2 / dof as f64
+    );
+}
+
+#[test]
+fn radius_marginal_follows_prior_under_flat_likelihood() {
+    let model = flat_model(64, 3.0, 0.0);
+    let mut s = Sampler::new_empty(&model, 7);
+    s.run(20_000);
+    let mut sum = 0.0f64;
+    let mut sum2 = 0.0f64;
+    let mut n = 0u64;
+    for _ in 0..60_000 {
+        s.step();
+        for c in s.config.circles() {
+            sum += c.r;
+            sum2 += c.r * c.r;
+            n += 1;
+        }
+    }
+    assert!(n > 10_000, "not enough radius samples");
+    let mean = sum / n as f64;
+    let var = sum2 / n as f64 - mean * mean;
+    // Prior: TruncatedNormal(8, 1.6, [4, 16]); truncation barely matters.
+    assert!(
+        (mean - 8.0).abs() < 0.25,
+        "radius posterior mean {mean} vs prior mean 8"
+    );
+    assert!(
+        (var.sqrt() - 1.6).abs() < 0.4,
+        "radius posterior sd {} vs prior sd 1.6",
+        var.sqrt()
+    );
+}
+
+#[test]
+fn overlap_penalty_shifts_the_count_down() {
+    // With a strong overlap penalty and high lambda, the chain must settle
+    // below the unpenalised Poisson mean (circles repel each other on a
+    // finite image).
+    let free = flat_model(48, 30.0, 0.0);
+    let penalised = flat_model(48, 30.0, 1.0);
+    let run_mean = |model: &NucleiModel| {
+        let mut s = Sampler::new_empty(model, 5);
+        s.run(30_000);
+        let mut total = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            s.step();
+            total += s.config.len();
+        }
+        total as f64 / n as f64
+    };
+    let free_mean = run_mean(&free);
+    let pen_mean = run_mean(&penalised);
+    assert!(
+        pen_mean < free_mean - 2.0,
+        "penalty had no effect: free {free_mean:.1}, penalised {pen_mean:.1}"
+    );
+}
+
+#[test]
+fn posterior_concentrates_on_planted_configuration() {
+    // A high-contrast single circle: the posterior should concentrate its
+    // position within a fraction of a pixel and its count on exactly 1.
+    let truth = Circle::new(31.7, 30.2, 8.3);
+    let mut params = ModelParams::new(64, 64, 1.0, 8.0);
+    params.noise_sd = 0.10;
+    let img = GrayImage::from_fn(64, 64, |x, y| {
+        if truth.covers_pixel(i64::from(x), i64::from(y)) {
+            0.9
+        } else {
+            0.1
+        }
+    });
+    let model = NucleiModel::new(&img, params);
+    let mut s = Sampler::new_empty(&model, 3);
+    s.run(20_000);
+    let mut collector = SampleCollector::new(64, 64, 2, 25);
+    let mut pos_err = 0.0f64;
+    let mut rad_err = 0.0f64;
+    let mut n = 0u64;
+    for _ in 0..30_000u64 {
+        s.step();
+        collector.observe(s.iterations(), &s.config);
+        if s.config.len() == 1 {
+            let c = s.config.circle(0);
+            pos_err += truth.centre_distance(&c);
+            rad_err += (c.r - truth.r).abs();
+            n += 1;
+        }
+    }
+    assert!(collector.count.probability(1) > 0.95, "count posterior not concentrated");
+    assert!(n > 0);
+    assert!(pos_err / (n as f64) < 0.5, "mean position error {}", pos_err / n as f64);
+    assert!(rad_err / (n as f64) < 0.5, "mean radius error {}", rad_err / n as f64);
+    // The occupancy map is hot at the circle and cold far away.
+    let map = collector.occupancy_map();
+    assert!(map.get(15, 15) > 0.9); // cell (15,15)*2 ≈ (31,31): inside
+    assert!(map.get(2, 2) < 0.05);
+}
+
+#[test]
+fn split_merge_only_chain_preserves_flat_posterior_count() {
+    // Exercise the trickiest pair in isolation: with only split/merge (and
+    // translate to mix), the total count still may change via split/merge;
+    // on a flat likelihood with lambda matching the initial count, the
+    // chain should hover around a stable mean rather than drifting — a
+    // wrong Jacobian in either move shows up as runaway splitting or
+    // collapsing.
+    let model = flat_model(96, 6.0, 0.0);
+    let weights = MoveWeights {
+        birth: 0.0,
+        death: 0.0,
+        split: 0.25,
+        merge: 0.25,
+        replace: 0.0,
+        translate: 0.5,
+        resize: 0.0,
+    };
+    let init: Vec<Circle> = (0..6)
+        .map(|i| Circle::new(16.0 + 12.0 * f64::from(i), 48.0, 8.0))
+        .collect();
+    let config = Configuration::from_circles(&model, &init);
+    let mut s = Sampler::with_config(&model, config, Xoshiro256::new(11));
+    s.set_weights(weights);
+    let mut mean = 0.0f64;
+    let n = 40_000;
+    s.run(10_000);
+    for _ in 0..n {
+        s.step();
+        mean += s.config.len() as f64;
+    }
+    mean /= n as f64;
+    // Expected stationary mean under the truncated dynamics is near λ; a
+    // Jacobian bug typically drives this to 1 or to the ceiling.
+    assert!(
+        (mean - 6.0).abs() < 2.5,
+        "split/merge chain drifted: mean count {mean:.2}"
+    );
+    s.config.verify_consistency(&model).unwrap();
+}
+
+#[test]
+fn heated_chain_flattens_the_posterior() {
+    // As beta -> 0 the chain should wander further from the mode: the
+    // variance of the count under beta=0.25 must exceed that under beta=1.
+    let truth = Circle::new(32.0, 32.0, 8.0);
+    let mut params = ModelParams::new(64, 64, 1.0, 8.0);
+    params.noise_sd = 0.15;
+    let img = GrayImage::from_fn(64, 64, |x, y| {
+        if truth.covers_pixel(i64::from(x), i64::from(y)) {
+            0.9
+        } else {
+            0.1
+        }
+    });
+    let model = NucleiModel::new(&img, params);
+    let var_of = |beta: f64| {
+        let mut s = Sampler::new_empty(&model, 2);
+        s.beta = beta;
+        s.run(15_000);
+        let mut xs = Vec::new();
+        for _ in 0..20_000 {
+            s.step();
+            xs.push(s.config.len() as f64);
+        }
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+    };
+    let cold = var_of(1.0);
+    let hot = var_of(0.25);
+    assert!(
+        hot > cold,
+        "heating did not flatten the posterior: var(hot) {hot:.3} <= var(cold) {cold:.3}"
+    );
+}

@@ -1,0 +1,209 @@
+//! Connected-component labelling on binary masks.
+//!
+//! Used by the intelligent-partitioning pre-processor to locate artifact
+//! clusters, and by tests/benches to count thresholded objects ("# obj.
+//! (thresh.)" in Table I).
+
+use crate::geometry::Rect;
+use crate::mask::Mask;
+
+/// One 4-connected component of set pixels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Component label (0-based, in discovery order).
+    pub label: u32,
+    /// Number of pixels in the component.
+    pub pixel_count: usize,
+    /// Tight bounding box.
+    pub bbox: Rect,
+    /// Sum of x coordinates (for centroid computation).
+    pub sum_x: u64,
+    /// Sum of y coordinates (for centroid computation).
+    pub sum_y: u64,
+}
+
+impl Component {
+    /// Centroid of the component's pixels.
+    #[must_use]
+    pub fn centroid(&self) -> (f64, f64) {
+        let n = self.pixel_count as f64;
+        (self.sum_x as f64 / n + 0.5, self.sum_y as f64 / n + 0.5)
+    }
+
+    /// Radius of the circle whose area equals the component's pixel count:
+    /// `sqrt(count / pi)`.
+    #[must_use]
+    pub fn equivalent_radius(&self) -> f64 {
+        (self.pixel_count as f64 / std::f64::consts::PI).sqrt()
+    }
+}
+
+/// Result of labelling: per-pixel labels plus per-component summaries.
+#[derive(Debug, Clone)]
+pub struct Labeling {
+    width: u32,
+    height: u32,
+    /// Per-pixel label + 1 (0 = background), row-major.
+    labels: Vec<u32>,
+    /// Component summaries, indexed by label.
+    pub components: Vec<Component>,
+}
+
+impl Labeling {
+    /// Label of the pixel, if it belongs to a component.
+    #[must_use]
+    pub fn label_at(&self, x: u32, y: u32) -> Option<u32> {
+        assert!(x < self.width && y < self.height, "out of bounds");
+        let v = self.labels[(y as usize) * (self.width as usize) + (x as usize)];
+        if v == 0 {
+            None
+        } else {
+            Some(v - 1)
+        }
+    }
+
+    /// Number of components found.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// Labels 4-connected components of set pixels with an iterative
+/// breadth-first flood fill (no recursion, safe on large blobs).
+#[must_use]
+pub fn label_components(mask: &Mask) -> Labeling {
+    let (w, h) = (mask.width(), mask.height());
+    let mut labels = vec![0u32; (w as usize) * (h as usize)];
+    let mut components = Vec::new();
+    let idx = |x: u32, y: u32| (y as usize) * (w as usize) + (x as usize);
+    let mut queue: Vec<(u32, u32)> = Vec::new();
+
+    for (sx, sy) in mask.ones() {
+        if labels[idx(sx, sy)] != 0 {
+            continue;
+        }
+        let label = components.len() as u32;
+        let mut comp = Component {
+            label,
+            pixel_count: 0,
+            bbox: Rect::new(i64::from(sx), i64::from(sy), i64::from(sx) + 1, i64::from(sy) + 1),
+            sum_x: 0,
+            sum_y: 0,
+        };
+        queue.clear();
+        queue.push((sx, sy));
+        labels[idx(sx, sy)] = label + 1;
+        while let Some((x, y)) = queue.pop() {
+            comp.pixel_count += 1;
+            comp.sum_x += u64::from(x);
+            comp.sum_y += u64::from(y);
+            comp.bbox = Rect::new(
+                comp.bbox.x0.min(i64::from(x)),
+                comp.bbox.y0.min(i64::from(y)),
+                comp.bbox.x1.max(i64::from(x) + 1),
+                comp.bbox.y1.max(i64::from(y) + 1),
+            );
+            let neighbours = [
+                (x.wrapping_sub(1), y),
+                (x + 1, y),
+                (x, y.wrapping_sub(1)),
+                (x, y + 1),
+            ];
+            for (nx, ny) in neighbours {
+                if nx < w && ny < h && mask.get(nx, ny) && labels[idx(nx, ny)] == 0 {
+                    labels[idx(nx, ny)] = label + 1;
+                    queue.push((nx, ny));
+                }
+            }
+        }
+        components.push(comp);
+    }
+
+    Labeling {
+        width: w,
+        height: h,
+        labels,
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_rows(rows: &[&str]) -> Mask {
+        let h = rows.len() as u32;
+        let w = rows[0].len() as u32;
+        let mut m = Mask::zeros(w, h);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, ch) in row.chars().enumerate() {
+                if ch == '#' {
+                    m.set(x as u32, y as u32, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn empty_mask_has_no_components() {
+        let l = label_components(&Mask::zeros(5, 5));
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn single_blob() {
+        let m = mask_from_rows(&["....", ".##.", ".##.", "...."]);
+        let l = label_components(&m);
+        assert_eq!(l.count(), 1);
+        let c = &l.components[0];
+        assert_eq!(c.pixel_count, 4);
+        assert_eq!(c.bbox, Rect::new(1, 1, 3, 3));
+        let (cx, cy) = c.centroid();
+        assert!((cx - 2.0).abs() < 1e-9 && (cy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_pixels_are_separate_components() {
+        let m = mask_from_rows(&["#.", ".#"]);
+        let l = label_components(&m);
+        assert_eq!(l.count(), 2, "4-connectivity splits diagonals");
+    }
+
+    #[test]
+    fn two_blobs_distinct_labels() {
+        let m = mask_from_rows(&["##...", "##...", ".....", "...##", "...##"]);
+        let l = label_components(&m);
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.label_at(0, 0), Some(0));
+        assert_eq!(l.label_at(4, 4), Some(1));
+        assert_eq!(l.label_at(2, 2), None);
+    }
+
+    #[test]
+    fn snake_shape_is_one_component() {
+        let m = mask_from_rows(&["#####", "....#", "#####", "#....", "#####"]);
+        let l = label_components(&m);
+        assert_eq!(l.count(), 1);
+        assert_eq!(l.components[0].pixel_count, 5 + 1 + 5 + 1 + 5);
+    }
+
+    #[test]
+    fn equivalent_radius_of_disk() {
+        // A filled disk of radius 5 has ~78.5 pixels.
+        let mut m = Mask::zeros(20, 20);
+        let c = crate::geometry::Circle::new(10.0, 10.0, 5.0);
+        for y in 0..20 {
+            for x in 0..20 {
+                if c.covers_pixel(i64::from(x), i64::from(y)) {
+                    m.set(x, y, true);
+                }
+            }
+        }
+        let l = label_components(&m);
+        assert_eq!(l.count(), 1);
+        let r = l.components[0].equivalent_radius();
+        assert!((r - 5.0).abs() < 0.3, "equivalent radius {r}");
+    }
+}

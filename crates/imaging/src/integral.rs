@@ -1,0 +1,164 @@
+//! Summed-area (integral) images.
+//!
+//! Used for O(1) rectangular intensity sums: the density estimator of
+//! eq. (5) needs thresholded pixel counts per partition, and tests use
+//! integral images to cross-check likelihood bookkeeping.
+
+use crate::geometry::Rect;
+use crate::image::GrayImage;
+use crate::mask::Mask;
+
+/// A summed-area table over an image: `table[y][x]` holds the sum of all
+/// pixels in `[0, x) × [0, y)`, so any rectangle sum is four lookups.
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: u32,
+    height: u32,
+    /// `(width + 1) × (height + 1)` cumulative sums, row-major.
+    table: Vec<f64>,
+}
+
+impl IntegralImage {
+    /// Builds the integral image of a grayscale image.
+    #[must_use]
+    pub fn new(img: &GrayImage) -> Self {
+        Self::from_fn(img.width(), img.height(), |x, y| f64::from(img.get(x, y)))
+    }
+
+    /// Builds an integral image over a binary mask (1.0 per set bit), so
+    /// rectangle queries count set pixels.
+    #[must_use]
+    pub fn of_mask(mask: &Mask) -> Self {
+        Self::from_fn(mask.width(), mask.height(), |x, y| {
+            if mask.get(x, y) {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Builds an integral image from a per-pixel function.
+    #[must_use]
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> f64) -> Self {
+        let w1 = width as usize + 1;
+        let h1 = height as usize + 1;
+        let mut table = vec![0.0f64; w1 * h1];
+        for y in 0..height as usize {
+            let mut row_sum = 0.0f64;
+            for x in 0..width as usize {
+                row_sum += f(x as u32, y as u32);
+                table[(y + 1) * w1 + (x + 1)] = table[y * w1 + (x + 1)] + row_sum;
+            }
+        }
+        Self {
+            width,
+            height,
+            table,
+        }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub const fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Sum over the rectangle, clipped to the image. O(1).
+    #[must_use]
+    pub fn sum(&self, rect: &Rect) -> f64 {
+        let frame = Rect::of_image(self.width, self.height);
+        let c = rect.intersect(&frame);
+        if c.is_empty() {
+            return 0.0;
+        }
+        let w1 = self.width as usize + 1;
+        let at = |x: i64, y: i64| self.table[(y as usize) * w1 + (x as usize)];
+        at(c.x1, c.y1) - at(c.x0, c.y1) - at(c.x1, c.y0) + at(c.x0, c.y0)
+    }
+
+    /// Mean over the rectangle (clipped); 0 for empty intersections.
+    #[must_use]
+    pub fn mean(&self, rect: &Rect) -> f64 {
+        let frame = Rect::of_image(self.width, self.height);
+        let c = rect.intersect(&frame);
+        if c.is_empty() {
+            0.0
+        } else {
+            self.sum(&c) / c.area() as f64
+        }
+    }
+
+    /// Sum over the whole image.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.sum(&Rect::of_image(self.width, self.height))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_sum(img: &GrayImage, rect: &Rect) -> f64 {
+        let mut s = 0.0;
+        for (x, y) in rect.pixels_clipped(&img.frame()) {
+            s += f64::from(img.get(x as u32, y as u32));
+        }
+        s
+    }
+
+    #[test]
+    fn matches_naive_on_small_image() {
+        let img = GrayImage::from_fn(7, 5, |x, y| ((x * 31 + y * 17) % 13) as f32 / 13.0);
+        let ii = IntegralImage::new(&img);
+        for &rect in &[
+            Rect::new(0, 0, 7, 5),
+            Rect::new(1, 1, 3, 4),
+            Rect::new(6, 4, 7, 5),
+            Rect::new(0, 0, 1, 1),
+            Rect::new(-3, -3, 100, 100),
+            Rect::new(4, 4, 2, 2), // empty
+        ] {
+            let want = naive_sum(&img, &rect);
+            let got = ii.sum(&rect);
+            assert!((want - got).abs() < 1e-9, "{rect:?}: {want} vs {got}");
+        }
+    }
+
+    #[test]
+    fn mask_counting() {
+        let mut m = Mask::zeros(10, 10);
+        for i in 0..10 {
+            m.set(i, i, true);
+        }
+        let ii = IntegralImage::of_mask(&m);
+        assert_eq!(ii.total() as usize, 10);
+        assert_eq!(ii.sum(&Rect::new(0, 0, 5, 5)) as usize, 5);
+        assert_eq!(
+            ii.sum(&Rect::new(0, 0, 5, 5)) as usize,
+            m.count_ones_in(&Rect::new(0, 0, 5, 5))
+        );
+    }
+
+    #[test]
+    fn mean_of_constant_image() {
+        let img = GrayImage::filled(8, 8, 0.25);
+        let ii = IntegralImage::new(&img);
+        assert!((ii.mean(&Rect::new(2, 2, 6, 6)) - 0.25).abs() < 1e-9);
+        assert_eq!(ii.mean(&Rect::new(8, 8, 9, 9)), 0.0);
+    }
+
+    #[test]
+    fn total_accumulates_everything() {
+        let img = GrayImage::from_fn(4, 4, |_, _| 1.0);
+        let ii = IntegralImage::new(&img);
+        assert!((ii.total() - 16.0).abs() < 1e-9);
+    }
+}

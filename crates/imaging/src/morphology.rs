@@ -1,0 +1,162 @@
+//! Binary morphology on masks.
+//!
+//! The intelligent-partitioning pre-processor scans for *completely* empty
+//! rows/columns; on noisy inputs a single spurious pixel can hide a
+//! corridor. An opening (erode → dilate) removes isolated noise pixels
+//! before the scan, making the pre-processor robust without changing its
+//! behaviour on clean inputs.
+
+use crate::mask::Mask;
+
+/// Erodes the mask with a `(2r+1)²` square structuring element: a pixel
+/// survives iff every pixel in its neighbourhood (clipped to the image) is
+/// set.
+#[must_use]
+pub fn erode(mask: &Mask, r: u32) -> Mask {
+    transform(mask, r, true)
+}
+
+/// Dilates the mask with a `(2r+1)²` square structuring element: a pixel
+/// is set iff any pixel in its neighbourhood is set.
+#[must_use]
+pub fn dilate(mask: &Mask, r: u32) -> Mask {
+    transform(mask, r, false)
+}
+
+/// Morphological opening: erosion followed by dilation. Removes connected
+/// blobs that cannot contain a `(2r+1)²` square while approximately
+/// preserving larger shapes.
+#[must_use]
+pub fn open(mask: &Mask, r: u32) -> Mask {
+    dilate(&erode(mask, r), r)
+}
+
+/// Morphological closing: dilation followed by erosion. Fills holes and
+/// gaps smaller than the structuring element.
+#[must_use]
+pub fn close(mask: &Mask, r: u32) -> Mask {
+    erode(&dilate(mask, r), r)
+}
+
+fn transform(mask: &Mask, r: u32, all: bool) -> Mask {
+    if r == 0 {
+        return mask.clone();
+    }
+    let (w, h) = (mask.width(), mask.height());
+    let mut out = Mask::zeros(w, h);
+    let ri = i64::from(r);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = all;
+            'scan: for dy in -ri..=ri {
+                for dx in -ri..=ri {
+                    let (nx, ny) = (i64::from(x) + dx, i64::from(y) + dy);
+                    if nx < 0 || ny < 0 || nx >= i64::from(w) || ny >= i64::from(h) {
+                        continue; // neighbourhood clipped at the border
+                    }
+                    let v = mask.get(nx as u32, ny as u32);
+                    if all && !v {
+                        acc = false;
+                        break 'scan;
+                    }
+                    if !all && v {
+                        acc = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if acc {
+                out.set(x, y, true);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask_from_rows(rows: &[&str]) -> Mask {
+        let h = rows.len() as u32;
+        let w = rows[0].len() as u32;
+        let mut m = Mask::zeros(w, h);
+        for (y, row) in rows.iter().enumerate() {
+            for (x, ch) in row.chars().enumerate() {
+                if ch == '#' {
+                    m.set(x as u32, y as u32, true);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn erode_removes_isolated_pixel() {
+        let m = mask_from_rows(&["....", ".#..", "....", "...."]);
+        assert_eq!(erode(&m, 1).count_ones(), 0);
+    }
+
+    #[test]
+    fn erode_keeps_core_of_block() {
+        let m = mask_from_rows(&["#####", "#####", "#####", "#####", "#####"]);
+        let e = erode(&m, 1);
+        // 3x3 core plus border-clipped neighbourhoods: the full block
+        // survives at edges because clipping keeps out-of-image pixels
+        // neutral; interior check:
+        assert!(e.get(2, 2));
+        assert!(e.count_ones() >= 9);
+    }
+
+    #[test]
+    fn dilate_grows_single_pixel_to_square() {
+        let m = mask_from_rows(&[".....", ".....", "..#..", ".....", "....."]);
+        let d = dilate(&m, 1);
+        assert_eq!(d.count_ones(), 9);
+        assert!(d.get(1, 1) && d.get(3, 3));
+        assert!(!d.get(0, 0));
+    }
+
+    #[test]
+    fn open_removes_noise_keeps_blob() {
+        let m = mask_from_rows(&[
+            "#........",
+            ".....###.",
+            ".....###.",
+            ".....###.",
+            ".........",
+        ]);
+        let o = open(&m, 1);
+        assert!(!o.get(0, 0), "noise pixel must vanish");
+        assert!(o.get(6, 2), "blob core must survive");
+        assert!(o.count_ones() >= 9);
+    }
+
+    #[test]
+    fn close_fills_small_hole() {
+        let m = mask_from_rows(&["#####", "#####", "##.##", "#####", "#####"]);
+        let c = close(&m, 1);
+        assert!(c.get(2, 2), "hole must be filled");
+    }
+
+    #[test]
+    fn zero_radius_is_identity() {
+        let m = mask_from_rows(&["#.#", ".#.", "#.#"]);
+        assert_eq!(erode(&m, 0), m);
+        assert_eq!(dilate(&m, 0), m);
+    }
+
+    #[test]
+    fn open_then_open_is_idempotent() {
+        let m = mask_from_rows(&[
+            "##....##..",
+            "##...####.",
+            ".....####.",
+            "..#..####.",
+            "..........",
+        ]);
+        let once = open(&m, 1);
+        let twice = open(&once, 1);
+        assert_eq!(once, twice);
+    }
+}

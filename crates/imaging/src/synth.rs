@@ -1,0 +1,567 @@
+//! Synthetic scene generation.
+//!
+//! The paper evaluates on stained-tissue micrographs and a photograph of
+//! latex beads in a petri dish; neither dataset is published. The methods
+//! only consume the *filtered* intensity image, so we generate synthetic
+//! scenes that reproduce the statistics the algorithms are sensitive to:
+//! artifact count, radius distribution, spatial arrangement (uniform fields
+//! for §VII, clumped clusters with empty corridors for §VIII/§IX), contrast
+//! and noise. Ground-truth circles are retained so experiments can score
+//! detections (precision/recall, duplicate and boundary anomalies).
+
+use crate::geometry::Circle;
+use crate::image::GrayImage;
+use rand::Rng;
+
+/// Parameters of a uniform random cell field (the §VII workload:
+/// "a 1024×1024 image containing 150 cells of mean radius 10").
+#[derive(Debug, Clone)]
+pub struct SceneSpec {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Number of circles to place.
+    pub n_circles: usize,
+    /// Mean circle radius (pixels).
+    pub radius_mean: f64,
+    /// Standard deviation of circle radii (pixels).
+    pub radius_sd: f64,
+    /// Minimum radius after clamping.
+    pub radius_min: f64,
+    /// Maximum radius after clamping.
+    pub radius_max: f64,
+    /// Foreground (artifact) intensity.
+    pub fg: f32,
+    /// Background intensity.
+    pub bg: f32,
+    /// Standard deviation of additive Gaussian pixel noise.
+    pub noise_sd: f32,
+    /// Width (pixels) of the soft intensity ramp at disk edges; 0 = hard.
+    pub edge_softness: f64,
+    /// Minimum centre distance between two circles as a fraction of the sum
+    /// of their radii. `1.0` forbids overlap entirely; `0.0` allows any.
+    pub min_gap_factor: f64,
+    /// Circles are kept at least this far (centre − radius) from the image
+    /// border.
+    pub border_margin: f64,
+}
+
+impl Default for SceneSpec {
+    fn default() -> Self {
+        Self {
+            width: 512,
+            height: 512,
+            n_circles: 40,
+            radius_mean: 10.0,
+            radius_sd: 1.0,
+            radius_min: 4.0,
+            radius_max: 20.0,
+            fg: 0.9,
+            bg: 0.1,
+            noise_sd: 0.05,
+            edge_softness: 1.0,
+            min_gap_factor: 1.0,
+            border_margin: 2.0,
+        }
+    }
+}
+
+impl SceneSpec {
+    /// The §VII workload: 1024×1024, 150 cells, mean radius 10.
+    #[must_use]
+    pub fn paper_section7() -> Self {
+        Self {
+            width: 1024,
+            height: 1024,
+            n_circles: 150,
+            radius_mean: 10.0,
+            radius_sd: 1.5,
+            radius_min: 5.0,
+            radius_max: 18.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// One bead cluster for the clumped (Fig. 3 / Fig. 4) scenes.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Cluster centre x (pixels).
+    pub cx: f64,
+    /// Cluster centre y (pixels).
+    pub cy: f64,
+    /// Number of beads in the cluster.
+    pub n: usize,
+    /// Gaussian spread (pixels) of bead centres around the cluster centre.
+    pub spread: f64,
+}
+
+/// A generated scene: ground-truth circles plus rendering parameters.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Ground-truth circles.
+    pub circles: Vec<Circle>,
+    /// Foreground intensity.
+    pub fg: f32,
+    /// Background intensity.
+    pub bg: f32,
+    /// Noise standard deviation used by [`Scene::render`].
+    pub noise_sd: f32,
+    /// Edge softness (pixels).
+    pub edge_softness: f64,
+}
+
+impl Scene {
+    /// Renders the noiseless image: background plus soft-edged disks
+    /// (overlaps take the max intensity).
+    #[must_use]
+    pub fn render_clean(&self) -> GrayImage {
+        let mut img = GrayImage::filled(self.width, self.height, self.bg);
+        let frame = img.frame();
+        for c in &self.circles {
+            for (x, y) in c.bounding_box(self.edge_softness + 1.0).pixels_clipped(&frame) {
+                let dx = x as f64 + 0.5 - c.x;
+                let dy = y as f64 + 0.5 - c.y;
+                let d = (dx * dx + dy * dy).sqrt();
+                let s = if self.edge_softness > 0.0 {
+                    ((c.r - d) / self.edge_softness + 0.5).clamp(0.0, 1.0)
+                } else if d <= c.r {
+                    1.0
+                } else {
+                    0.0
+                };
+                if s > 0.0 {
+                    let v = self.bg + (self.fg - self.bg) * s as f32;
+                    let (xu, yu) = (x as u32, y as u32);
+                    if v > img.get(xu, yu) {
+                        img.set(xu, yu, v);
+                    }
+                }
+            }
+        }
+        img
+    }
+
+    /// Renders with additive Gaussian noise, clamped to `[0, 1]`.
+    #[must_use]
+    pub fn render(&self, rng: &mut impl Rng) -> GrayImage {
+        let mut img = self.render_clean();
+        if self.noise_sd > 0.0 {
+            for v in img.as_mut_slice() {
+                *v = (*v + self.noise_sd * standard_normal(rng) as f32).clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+}
+
+/// Samples a standard normal via the Box–Muller transform.
+///
+/// Public so downstream crates can reuse it for pixel-space noise without an
+/// extra distributions dependency.
+#[must_use]
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid u1 == 0 which would take ln(0).
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn sample_radius(spec: &SceneSpec, rng: &mut impl Rng) -> f64 {
+    (spec.radius_mean + spec.radius_sd * standard_normal(rng))
+        .clamp(spec.radius_min, spec.radius_max)
+}
+
+/// Generates a uniform random field of circles per `spec`.
+///
+/// Positions are drawn uniformly (respecting the border margin) and
+/// accepted when the minimum-gap constraint holds against all previously
+/// placed circles; after 1000 consecutive rejections the constraint is
+/// relaxed by 5 % so generation always terminates.
+#[must_use]
+pub fn generate(spec: &SceneSpec, rng: &mut impl Rng) -> Scene {
+    let mut circles: Vec<Circle> = Vec::with_capacity(spec.n_circles);
+    let mut gap = spec.min_gap_factor;
+    let mut failures = 0u32;
+    while circles.len() < spec.n_circles {
+        let r = sample_radius(spec, rng);
+        let m = r + spec.border_margin;
+        if 2.0 * m >= f64::from(spec.width) || 2.0 * m >= f64::from(spec.height) {
+            failures += 1;
+            if failures > 1000 {
+                break; // image simply too small for this radius
+            }
+            continue;
+        }
+        let x = rng.gen_range(m..f64::from(spec.width) - m);
+        let y = rng.gen_range(m..f64::from(spec.height) - m);
+        let cand = Circle::new(x, y, r);
+        let ok = circles
+            .iter()
+            .all(|c| c.centre_distance(&cand) >= gap * (c.r + cand.r));
+        if ok {
+            circles.push(cand);
+            failures = 0;
+        } else {
+            failures += 1;
+            if failures >= 1000 {
+                gap *= 0.95;
+                failures = 0;
+            }
+        }
+    }
+    Scene {
+        width: spec.width,
+        height: spec.height,
+        circles,
+        fg: spec.fg,
+        bg: spec.bg,
+        noise_sd: spec.noise_sd,
+        edge_softness: spec.edge_softness,
+    }
+}
+
+/// Generates a clumped bead scene: each cluster packs `n` beads around its
+/// centre with the given spread, allowing beads to touch (clump) but not to
+/// stack. This reproduces the latex-bead petri-dish layout of Fig. 3/4,
+/// where clumping plus inter-cluster empty corridors make intelligent
+/// partitioning applicable.
+#[must_use]
+pub fn generate_clustered(
+    spec: &SceneSpec,
+    clusters: &[ClusterSpec],
+    rng: &mut impl Rng,
+) -> Scene {
+    let mut circles: Vec<Circle> = Vec::new();
+    for cl in clusters {
+        let mut placed = 0usize;
+        let mut failures = 0u32;
+        let mut spread = cl.spread;
+        while placed < cl.n {
+            let r = sample_radius(spec, rng);
+            let x = cl.cx + spread * standard_normal(rng);
+            let y = cl.cy + spread * standard_normal(rng);
+            let m = r + spec.border_margin;
+            if x - m < 0.0
+                || y - m < 0.0
+                || x + m > f64::from(spec.width)
+                || y + m > f64::from(spec.height)
+            {
+                failures += 1;
+                if failures >= 500 {
+                    spread *= 0.9;
+                    failures = 0;
+                }
+                continue;
+            }
+            let cand = Circle::new(x, y, r);
+            // Beads may touch (gap factor ~0.85 allows slight visual clump)
+            // but never coincide.
+            let ok = circles
+                .iter()
+                .all(|c| c.centre_distance(&cand) >= 0.85 * (c.r + cand.r));
+            if ok {
+                circles.push(cand);
+                placed += 1;
+                failures = 0;
+            } else {
+                failures += 1;
+                if failures >= 500 {
+                    spread *= 1.1; // loosen the cluster to make room
+                    failures = 0;
+                }
+            }
+        }
+    }
+    Scene {
+        width: spec.width,
+        height: spec.height,
+        circles,
+        fg: spec.fg,
+        bg: spec.bg,
+        noise_sd: spec.noise_sd,
+        edge_softness: spec.edge_softness,
+    }
+}
+
+/// Generates *densely packed* bead clusters: beads sit on a jittered
+/// hexagonal lattice with centre spacing `spacing_factor · 2 · r̄`, so
+/// within a cluster the inter-bead gaps are a fraction of a radius — like
+/// the touching latex beads of the paper's Fig. 3, where no empty
+/// row/column corridor exists *inside* a clump and the intelligent
+/// partitioner therefore keeps each clump whole.
+#[must_use]
+pub fn generate_packed_clusters(
+    spec: &SceneSpec,
+    clusters: &[ClusterSpec],
+    spacing_factor: f64,
+    rng: &mut impl Rng,
+) -> Scene {
+    let spacing = spacing_factor * 2.0 * spec.radius_mean;
+    let mut circles: Vec<Circle> = Vec::new();
+    for cl in clusters {
+        // Enough hexagonal lattice rings to hold n beads.
+        let rings = (cl.n as f64).sqrt().ceil() as i64 + 2;
+        let mut sites: Vec<(f64, f64)> = Vec::new();
+        for j in -rings..=rings {
+            for i in -rings..=rings {
+                let x = cl.cx + spacing * (i as f64 + 0.5 * (j.rem_euclid(2)) as f64);
+                let y = cl.cy + spacing * (j as f64) * 3f64.sqrt() / 2.0;
+                sites.push((x, y));
+            }
+        }
+        sites.sort_by(|a, b| {
+            let da = (a.0 - cl.cx).powi(2) + (a.1 - cl.cy).powi(2);
+            let db = (b.0 - cl.cx).powi(2) + (b.1 - cl.cy).powi(2);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let jitter = 0.05 * spacing;
+        let mut placed = 0usize;
+        for (sx, sy) in sites {
+            if placed == cl.n {
+                break;
+            }
+            let r = sample_radius(spec, rng);
+            let x = sx + jitter * standard_normal(rng);
+            let y = sy + jitter * standard_normal(rng);
+            let m = r + spec.border_margin;
+            if x - m < 0.0
+                || y - m < 0.0
+                || x + m > f64::from(spec.width)
+                || y + m > f64::from(spec.height)
+            {
+                continue;
+            }
+            circles.push(Circle::new(x, y, r));
+            placed += 1;
+        }
+    }
+    Scene {
+        width: spec.width,
+        height: spec.height,
+        circles,
+        fg: spec.fg,
+        bg: spec.bg,
+        noise_sd: spec.noise_sd,
+        edge_softness: spec.edge_softness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_places_requested_count() {
+        let spec = SceneSpec {
+            width: 256,
+            height: 256,
+            n_circles: 30,
+            ..SceneSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let scene = generate(&spec, &mut rng);
+        assert_eq!(scene.circles.len(), 30);
+    }
+
+    #[test]
+    fn generate_respects_non_overlap() {
+        let spec = SceneSpec {
+            width: 400,
+            height: 400,
+            n_circles: 25,
+            min_gap_factor: 1.0,
+            ..SceneSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let scene = generate(&spec, &mut rng);
+        for (i, a) in scene.circles.iter().enumerate() {
+            for b in scene.circles.iter().skip(i + 1) {
+                assert!(
+                    a.centre_distance(b) >= 0.9 * (a.r + b.r),
+                    "circles nearly coincide"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generate_respects_border_margin() {
+        let spec = SceneSpec {
+            width: 200,
+            height: 200,
+            n_circles: 15,
+            border_margin: 3.0,
+            ..SceneSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let scene = generate(&spec, &mut rng);
+        for c in &scene.circles {
+            assert!(c.x - c.r >= 2.9 && c.x + c.r <= 200.1);
+            assert!(c.y - c.r >= 2.9 && c.y + c.r <= 200.1);
+        }
+    }
+
+    #[test]
+    fn radii_clamped() {
+        let spec = SceneSpec {
+            width: 300,
+            height: 300,
+            n_circles: 50,
+            radius_mean: 8.0,
+            radius_sd: 10.0,
+            radius_min: 5.0,
+            radius_max: 11.0,
+            min_gap_factor: 0.0,
+            ..SceneSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let scene = generate(&spec, &mut rng);
+        for c in &scene.circles {
+            assert!(c.r >= 5.0 && c.r <= 11.0);
+        }
+    }
+
+    #[test]
+    fn render_clean_has_fg_at_centres_and_bg_far_away() {
+        let scene = Scene {
+            width: 64,
+            height: 64,
+            circles: vec![Circle::new(20.0, 20.0, 6.0)],
+            fg: 0.9,
+            bg: 0.1,
+            noise_sd: 0.0,
+            edge_softness: 1.0,
+        };
+        let img = scene.render_clean();
+        assert!((img.get(20, 20) - 0.9).abs() < 1e-6);
+        assert!((img.get(50, 50) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_noise_stays_in_unit_interval() {
+        let scene = Scene {
+            width: 32,
+            height: 32,
+            circles: vec![],
+            fg: 0.9,
+            bg: 0.5,
+            noise_sd: 0.5,
+            edge_softness: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = scene.render(&mut rng);
+        for (_, _, v) in img.pixels() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn clustered_scene_places_all_beads_near_centres() {
+        let spec = SceneSpec {
+            width: 512,
+            height: 512,
+            radius_mean: 8.0,
+            radius_sd: 0.5,
+            ..SceneSpec::default()
+        };
+        let clusters = [
+            ClusterSpec {
+                cx: 100.0,
+                cy: 100.0,
+                n: 6,
+                spread: 25.0,
+            },
+            ClusterSpec {
+                cx: 380.0,
+                cy: 350.0,
+                n: 10,
+                spread: 35.0,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        let scene = generate_clustered(&spec, &clusters, &mut rng);
+        assert_eq!(scene.circles.len(), 16);
+        // Most beads should be within a few spreads of some cluster centre.
+        for c in &scene.circles {
+            let d1 = ((c.x - 100.0).powi(2) + (c.y - 100.0).powi(2)).sqrt();
+            let d2 = ((c.x - 380.0).powi(2) + (c.y - 350.0).powi(2)).sqrt();
+            assert!(d1.min(d2) < 200.0, "bead far from all clusters");
+        }
+    }
+
+    #[test]
+    fn packed_clusters_place_all_beads_densely() {
+        let spec = SceneSpec {
+            width: 512,
+            height: 512,
+            radius_mean: 9.0,
+            radius_sd: 0.3,
+            radius_min: 6.0,
+            radius_max: 13.0,
+            ..SceneSpec::default()
+        };
+        let clusters = [
+            ClusterSpec {
+                cx: 120.0,
+                cy: 120.0,
+                n: 20,
+                spread: 0.0,
+            },
+            ClusterSpec {
+                cx: 380.0,
+                cy: 380.0,
+                n: 5,
+                spread: 0.0,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(8);
+        let scene = generate_packed_clusters(&spec, &clusters, 1.1, &mut rng);
+        assert_eq!(scene.circles.len(), 25);
+        // Dense packing: every bead in a multi-bead cluster has a
+        // neighbour within ~2.6 radii.
+        for (i, a) in scene.circles.iter().enumerate() {
+            let nearest = scene
+                .circles
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, b)| a.centre_distance(b))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                nearest < 2.6 * spec.radius_mean,
+                "bead {i} isolated: nearest at {nearest:.1}"
+            );
+        }
+        // Clusters stay apart.
+        let near_first = scene
+            .circles
+            .iter()
+            .filter(|c| ((c.x - 120.0).powi(2) + (c.y - 120.0).powi(2)).sqrt() < 130.0)
+            .count();
+        assert_eq!(near_first, 20);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

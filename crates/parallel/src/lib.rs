@@ -1,0 +1,40 @@
+//! # pmcmc-parallel
+//!
+//! The parallelisation schemes of *"On the Parallelisation of MCMC-based
+//! Image Processing"* (Byrd, Jarvis & Bhalerao, IPDPS-W 2010):
+//!
+//! * [`periodic`] — **periodic partitioning** (§V): alternating sequential
+//!   global-move phases and parallel local-move phases over a
+//!   randomly-offset grid; statistically equivalent to sequential MCMC.
+//! * [`speculative`] — **speculative moves** ([11], §IV): `n` proposals of
+//!   the same state evaluated concurrently, first acceptance wins.
+//! * [`intelligent`] — **intelligent partitioning** (§VIII): a threshold
+//!   pre-processor cuts the image along empty corridors so artifacts never
+//!   span partitions; independent chains per partition.
+//! * [`blind`] — **blind partitioning** (§VIII): plain grid + overlap
+//!   margin + heuristic merge of the seams.
+//! * [`naive`] — the anomaly-prone baseline the paper motivates against.
+//! * [`subchain`] — shared per-partition chain machinery (eq. 5 priors,
+//!   convergence detection).
+//! * [`theory`] — the runtime models of §VI (eqs. 2–4, Fig. 1).
+//! * [`report`] — table rendering for the bench harnesses.
+
+#![warn(missing_docs)]
+
+pub mod blind;
+pub mod intelligent;
+pub mod mc3par;
+pub mod naive;
+pub mod periodic;
+pub mod report;
+pub mod speculative;
+pub mod subchain;
+pub mod theory;
+
+pub use blind::{run_blind, BlindOptions, BlindResult, DisputePolicy};
+pub use intelligent::{run_intelligent, IntelligentPartitioner, IntelligentResult};
+pub use mc3par::{run_mc3_parallel, Mc3Report};
+pub use naive::{run_naive, NaiveOptions, NaivePrior, NaiveResult};
+pub use periodic::{PartitionScheme, PeriodicOptions, PeriodicReport, PeriodicSampler};
+pub use speculative::{SpeculativeEngine, SpeculativeSampler};
+pub use subchain::{eq5_estimate, run_partition_chain, SubChainOptions, SubChainResult};

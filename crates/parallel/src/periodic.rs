@@ -1,0 +1,524 @@
+//! Periodic partitioning (§V) — the paper's primary contribution.
+//!
+//! The sampler alternates two phases:
+//!
+//! * an **`Mg` phase**: `i_g` iterations of global moves (birth, death,
+//!   split, merge, replace) run sequentially on the whole image;
+//! * an **`Ml` phase**: `i_l = i_g · (1 − q_g)/q_g` local-move iterations,
+//!   distributed over the tiles of a *randomly offset* uniform grid
+//!   proportionally to each tile's count of modifiable features, executed
+//!   in parallel with the §V safeguards (see [`pmcmc_core::TileWorkspace`]).
+//!
+//! The iteration split leaves the long-run move-proposal probabilities
+//! unchanged, and the random grid offset (redrawn every cycle) prevents
+//! persistent partition-boundary bias.
+
+use pmcmc_core::diagnostics::AcceptanceStats;
+use pmcmc_core::rng::derive_seed;
+use pmcmc_core::{
+    Configuration, MoveWeights, NucleiModel, Sampler, TileWorkspace, Xoshiro256,
+};
+use pmcmc_imaging::{PartitionGrid, Rect};
+use pmcmc_runtime::WorkerPool;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// How the image is tiled during `Ml` phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionScheme {
+    /// Uniform grid of `xm × ym` tiles with per-phase random offsets (§V).
+    Grid {
+        /// Spacing along x (pixels).
+        xm: i64,
+        /// Spacing along y (pixels).
+        ym: i64,
+    },
+    /// The §VII configuration: grid spacing larger than the image, so each
+    /// phase cuts the image into (at most) four rectangles meeting at one
+    /// random interior point.
+    Corner,
+}
+
+impl PartitionScheme {
+    fn grid(self, width: u32, height: u32, rng: &mut impl Rng) -> PartitionGrid {
+        let (xm, ym) = match self {
+            PartitionScheme::Grid { xm, ym } => (xm, ym),
+            PartitionScheme::Corner => (i64::from(width), i64::from(height)),
+        };
+        PartitionGrid::new(
+            xm,
+            ym,
+            rng.gen_range(0..xm),
+            rng.gen_range(0..ym),
+        )
+    }
+}
+
+/// Configuration of the periodic-partitioning sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct PeriodicOptions {
+    /// Iterations per global (`Mg`) phase.
+    pub global_phase_iters: u64,
+    /// Tiling scheme for local phases.
+    pub scheme: PartitionScheme,
+    /// Worker threads for local phases.
+    pub threads: usize,
+    /// Speculative lanes for the `Mg` phases (≤ 1 disables). This realises
+    /// eq. (3): "we can obtain further performance improvements by
+    /// implementing speculative moves during the Mg phases".
+    pub speculative_global_lanes: usize,
+}
+
+impl Default for PeriodicOptions {
+    fn default() -> Self {
+        Self {
+            global_phase_iters: 128,
+            scheme: PartitionScheme::Corner,
+            threads: 4,
+            speculative_global_lanes: 1,
+        }
+    }
+}
+
+/// Timing and accounting of one run.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodicReport {
+    /// Completed global/local cycles.
+    pub cycles: u64,
+    /// Iterations spent in `Mg` phases.
+    pub global_iters: u64,
+    /// Iterations spent in `Ml` phases (summed over tiles).
+    pub local_iters: u64,
+    /// Wall time inside `Mg` phases.
+    pub global_time: Duration,
+    /// Wall time inside `Ml` phases (including partition/merge overhead).
+    pub local_time: Duration,
+    /// Wall time spent duplicating/merging tile state (the §VI overhead
+    /// term).
+    pub overhead_time: Duration,
+    /// Total wall time of the run.
+    pub total_time: Duration,
+}
+
+impl PeriodicReport {
+    /// Total iterations (global + local).
+    #[must_use]
+    pub fn total_iters(&self) -> u64 {
+        self.global_iters + self.local_iters
+    }
+}
+
+/// The periodic-partitioning sampler.
+pub struct PeriodicSampler<'m> {
+    model: &'m NucleiModel,
+    /// Master chain used for the sequential `Mg` phases; its configuration
+    /// is the authoritative state between phases.
+    pub master: Sampler<'m>,
+    weights: MoveWeights,
+    options: PeriodicOptions,
+    pool: WorkerPool,
+    spec_engine: Option<crate::speculative::SpeculativeEngine>,
+    /// Merged acceptance statistics over global and local phases.
+    pub stats: AcceptanceStats,
+    seed: u64,
+    phase_counter: u64,
+}
+
+impl<'m> PeriodicSampler<'m> {
+    /// Creates the sampler with a random initial configuration.
+    #[must_use]
+    pub fn new(model: &'m NucleiModel, seed: u64, options: PeriodicOptions) -> Self {
+        let master = Sampler::new(model, seed);
+        Self::with_master(model, master, seed, options)
+    }
+
+    /// Creates the sampler from an existing master chain (e.g. to continue
+    /// a sequential burn-in).
+    #[must_use]
+    pub fn with_master(
+        model: &'m NucleiModel,
+        master: Sampler<'m>,
+        seed: u64,
+        options: PeriodicOptions,
+    ) -> Self {
+        let spec_engine = if options.speculative_global_lanes > 1 {
+            Some(crate::speculative::SpeculativeEngine::new(
+                derive_seed(seed, 0xEC3),
+                options.speculative_global_lanes,
+            ))
+        } else {
+            None
+        };
+        Self {
+            model,
+            master,
+            weights: MoveWeights::default(),
+            options,
+            pool: WorkerPool::new(options.threads.max(1)),
+            spec_engine,
+            stats: AcceptanceStats::new(),
+            seed,
+            phase_counter: 0,
+        }
+    }
+
+    /// Overrides the overall move weights (determines `q_g`).
+    pub fn set_weights(&mut self, weights: MoveWeights) {
+        self.weights = weights;
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn config(&self) -> &Configuration {
+        &self.master.config
+    }
+
+    /// Runs at least `total_iters` iterations (whole cycles; may overshoot
+    /// by at most one cycle) and reports phase timings.
+    pub fn run(&mut self, total_iters: u64) -> PeriodicReport {
+        let mut report = PeriodicReport::default();
+        let start = Instant::now();
+        let qg = self.weights.qg();
+        let i_g = self.options.global_phase_iters.max(1);
+        // i_l chosen so the long-run proposal mix matches q_g (§V):
+        // i_g global per i_g·(1−q_g)/q_g local.
+        let i_l = if qg > 0.0 {
+            ((i_g as f64) * (1.0 - qg) / qg).round().max(0.0) as u64
+        } else {
+            i_g
+        };
+        while report.total_iters() < total_iters {
+            self.run_cycle(i_g, i_l, &mut report);
+            report.cycles += 1;
+        }
+        report.total_time = start.elapsed();
+        report
+    }
+
+    fn run_cycle(&mut self, i_g: u64, i_l: u64, report: &mut PeriodicReport) {
+        // ---- Mg phase: global moves on the full image — sequential, or
+        // speculative when lanes were requested (eq. 3).
+        let t0 = Instant::now();
+        if i_g > 0 && self.weights.qg() > 0.0 {
+            let global_weights = self.weights.global_only();
+            if let Some(engine) = self.spec_engine.as_mut() {
+                let consumed = engine.run(
+                    &mut self.master.config,
+                    self.model,
+                    &global_weights,
+                    &mut self.stats,
+                    i_g,
+                );
+                report.global_iters += consumed;
+            } else {
+                self.master.set_weights(global_weights);
+                self.master.run(i_g);
+                report.global_iters += i_g;
+            }
+        }
+        report.global_time += t0.elapsed();
+
+        // ---- Ml phase: parallel local moves on a freshly offset grid.
+        if i_l == 0 {
+            return;
+        }
+        let t1 = Instant::now();
+        self.phase_counter += 1;
+        let (w, h) = (self.model.params.width, self.model.params.height);
+        let grid = self.options.scheme.grid(w, h, &mut self.master.rng);
+        let tiles: Vec<Rect> = grid.tiles(w, h);
+
+        // Build workspaces (the "duplicate" part of the §VII overhead).
+        let t_ov = Instant::now();
+        let workspaces: Vec<TileWorkspace> = tiles
+            .iter()
+            .map(|&r| TileWorkspace::new(&self.master.config, self.model, r))
+            .collect();
+        let eligible_total: usize = workspaces.iter().map(TileWorkspace::eligible_count).sum();
+        report.overhead_time += t_ov.elapsed();
+
+        if eligible_total == 0 {
+            // No modifiable feature anywhere (e.g. a nearly empty chain):
+            // fall back to sequential local moves on the full image, which
+            // is always statistically valid.
+            self.master.set_weights(self.weights.local_only());
+            self.master.run(i_l);
+            report.local_iters += i_l;
+            report.local_time += t1.elapsed();
+            return;
+        }
+
+        // Allocate iterations ∝ modifiable features (§V).
+        let allocations: Vec<u64> = largest_remainder_allocation(
+            i_l,
+            &workspaces
+                .iter()
+                .map(|ws| ws.eligible_count() as f64)
+                .collect::<Vec<_>>(),
+        );
+
+        // Local move mix within Ml: translate vs resize proportions.
+        let local = self.weights.local_only();
+        let p_translate = if local.translate + local.resize > 0.0 {
+            local.translate / (local.translate + local.resize)
+        } else {
+            0.5
+        };
+
+        // Run tiles on the pool, weighted by allocation for LPT ordering.
+        let model = self.model;
+        let phase = self.phase_counter;
+        let seed = self.seed;
+        let tasks: Vec<(f64, _)> = workspaces
+            .into_iter()
+            .zip(allocations.iter().copied())
+            .enumerate()
+            .map(|(idx, (mut ws, n))| {
+                let weight = n as f64;
+                let task = move || {
+                    let mut rng =
+                        Xoshiro256::new(derive_seed(seed, phase.wrapping_mul(8192) + idx as u64));
+                    ws.run_local(n, p_translate, model, &mut rng);
+                    ws
+                };
+                (weight, task)
+            })
+            .collect();
+        let finished = self.pool.run_batch(tasks);
+
+        // Merge tile results back (the "merge" overhead).
+        let t_m = Instant::now();
+        for ws in &finished {
+            self.master.config.absorb_tile(ws);
+            self.stats.merge(&ws.stats);
+        }
+        report.overhead_time += t_m.elapsed();
+        report.local_iters += allocations.iter().sum::<u64>();
+        report.local_time += t1.elapsed();
+    }
+
+    /// Merged statistics including the master chain's.
+    #[must_use]
+    pub fn merged_stats(&self) -> AcceptanceStats {
+        let mut s = self.stats.clone();
+        s.merge(&self.master.stats);
+        s
+    }
+}
+
+/// Splits `total` into integer parts proportional to `weights` using the
+/// largest-remainder method (parts sum exactly to `total`).
+#[must_use]
+pub fn largest_remainder_allocation(total: u64, weights: &[f64]) -> Vec<u64> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || weights.is_empty() {
+        return vec![0; weights.len()];
+    }
+    let exact: Vec<f64> = weights
+        .iter()
+        .map(|w| total as f64 * w / sum)
+        .collect();
+    let mut parts: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
+    let assigned: u64 = parts.iter().sum();
+    let mut remainders: Vec<(f64, usize)> = exact
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e - e.floor(), i))
+        .collect();
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    for k in 0..(total - assigned) as usize {
+        parts[remainders[k % remainders.len()].1] += 1;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcmc_core::ModelParams;
+    use pmcmc_imaging::synth::{generate, SceneSpec};
+
+    fn scene_model(size: u32, n: usize, seed: u64) -> (NucleiModel, Vec<pmcmc_imaging::Circle>) {
+        let spec = SceneSpec {
+            width: size,
+            height: size,
+            n_circles: n,
+            radius_mean: 8.0,
+            radius_sd: 0.8,
+            radius_min: 5.0,
+            radius_max: 12.0,
+            noise_sd: 0.05,
+            ..SceneSpec::default()
+        };
+        let mut rng = Xoshiro256::new(seed);
+        let scene = generate(&spec, &mut rng);
+        let img = scene.render(&mut rng);
+        let mut params = ModelParams::new(size, size, n as f64, 8.0);
+        params.noise_sd = 0.15;
+        (NucleiModel::new(&img, params), scene.circles)
+    }
+
+    #[test]
+    fn allocation_sums_to_total() {
+        let parts = largest_remainder_allocation(100, &[1.0, 2.0, 3.0, 0.5]);
+        assert_eq!(parts.iter().sum::<u64>(), 100);
+        assert!(parts[2] > parts[0]);
+        assert_eq!(largest_remainder_allocation(7, &[0.0, 0.0]), vec![0, 0]);
+        assert_eq!(
+            largest_remainder_allocation(10, &[1.0]),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn allocation_proportionality() {
+        let parts = largest_remainder_allocation(1000, &[10.0, 20.0, 70.0]);
+        assert_eq!(parts, vec![100, 200, 700]);
+    }
+
+    #[test]
+    fn run_reaches_iteration_budget_and_stays_consistent() {
+        let (model, _) = scene_model(128, 10, 1);
+        let mut ps = PeriodicSampler::new(
+            &model,
+            7,
+            PeriodicOptions {
+                global_phase_iters: 64,
+                scheme: PartitionScheme::Corner,
+                threads: 2,
+                ..PeriodicOptions::default()
+            },
+        );
+        let report = ps.run(5_000);
+        assert!(report.total_iters() >= 5_000);
+        assert!(report.cycles > 0);
+        assert!(report.global_iters > 0);
+        assert!(report.local_iters > 0);
+        ps.config()
+            .verify_consistency(&model)
+            .expect("master consistent after periodic run");
+        // Long-run proposal mix ≈ q_g.
+        let frac_global = report.global_iters as f64 / report.total_iters() as f64;
+        assert!(
+            (frac_global - 0.4).abs() < 0.05,
+            "global fraction {frac_global}"
+        );
+    }
+
+    #[test]
+    fn grid_scheme_produces_many_tiles() {
+        let (model, _) = scene_model(128, 10, 2);
+        let mut ps = PeriodicSampler::new(
+            &model,
+            3,
+            PeriodicOptions {
+                global_phase_iters: 32,
+                scheme: PartitionScheme::Grid { xm: 48, ym: 48 },
+                threads: 4,
+                ..PeriodicOptions::default()
+            },
+        );
+        let report = ps.run(3_000);
+        assert!(report.total_iters() >= 3_000);
+        ps.config().verify_consistency(&model).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_threads() {
+        let (model, _) = scene_model(96, 8, 3);
+        let opts = PeriodicOptions {
+            global_phase_iters: 50,
+            scheme: PartitionScheme::Corner,
+            threads: 3,
+            ..PeriodicOptions::default()
+        };
+        let run = |seed| {
+            let mut ps = PeriodicSampler::new(&model, seed, opts);
+            ps.run(2_000);
+            (
+                ps.config().len(),
+                ps.config().log_posterior(&model),
+            )
+        };
+        let (k1, lp1) = run(11);
+        let (k2, lp2) = run(11);
+        assert_eq!(k1, k2);
+        assert!((lp1 - lp2).abs() < 1e-9, "{lp1} vs {lp2}");
+    }
+
+    #[test]
+    fn detects_planted_circles_like_sequential() {
+        let (model, truth) = scene_model(128, 10, 4);
+        let mut ps = PeriodicSampler::new(
+            &model,
+            5,
+            PeriodicOptions {
+                global_phase_iters: 100,
+                scheme: PartitionScheme::Corner,
+                threads: 4,
+                ..PeriodicOptions::default()
+            },
+        );
+        ps.run(40_000);
+        let detected = ps.config().circles().to_vec();
+        let m = pmcmc_core::match_circles(&truth, &detected, 5.0);
+        assert!(
+            m.recall() >= 0.8,
+            "recall {} (found {}/{})",
+            m.recall(),
+            m.matches.len(),
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn speculative_global_phases_preserve_quality() {
+        // eq. (3) realised: periodic partitioning with 4-lane speculative
+        // Mg phases is still an exact sampler.
+        let (model, truth) = scene_model(128, 10, 6);
+        let mut ps = PeriodicSampler::new(
+            &model,
+            21,
+            PeriodicOptions {
+                global_phase_iters: 100,
+                scheme: PartitionScheme::Corner,
+                threads: 4,
+                speculative_global_lanes: 4,
+            },
+        );
+        let report = ps.run(40_000);
+        assert!(report.total_iters() >= 40_000);
+        ps.config().verify_consistency(&model).unwrap();
+        let m = pmcmc_core::match_circles(&truth, ps.config().circles(), 5.0);
+        assert!(m.recall() >= 0.8, "recall {}", m.recall());
+        // The speculative engine's iterations were accounted as global.
+        assert!(report.global_iters > 0);
+        let frac_global = report.global_iters as f64 / report.total_iters() as f64;
+        assert!(
+            (frac_global - 0.4).abs() < 0.06,
+            "global fraction {frac_global}"
+        );
+    }
+
+    #[test]
+    fn empty_configuration_falls_back_to_sequential_local() {
+        // λ tiny and a dark image: the chain may be empty when a local
+        // phase starts; the driver must not dead-lock or lose iterations.
+        let params = ModelParams::new(64, 64, 0.5, 8.0);
+        let img = pmcmc_imaging::GrayImage::filled(64, 64, 0.1);
+        let model = NucleiModel::new(&img, params);
+        let mut ps = PeriodicSampler::new(
+            &model,
+            9,
+            PeriodicOptions {
+                global_phase_iters: 20,
+                scheme: PartitionScheme::Corner,
+                threads: 2,
+                ..PeriodicOptions::default()
+            },
+        );
+        let report = ps.run(1_000);
+        assert!(report.total_iters() >= 1_000);
+        ps.config().verify_consistency(&model).unwrap();
+    }
+}

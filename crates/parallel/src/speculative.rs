@@ -1,0 +1,321 @@
+//! Speculative moves ([11], reviewed in §IV and used by eqs. (3)/(4)).
+//!
+//! Each round, `n` team members draw **independent** proposals conditioned
+//! on the *same* chain state and evaluate them concurrently (read-only).
+//! The first accepted proposal (in member order) is applied; everything
+//! after it is discarded. Because rejected iterations leave the state
+//! unchanged, the sequence of kept decisions is distributed exactly like
+//! the sequential chain — the chain advances `j + 1` iterations when
+//! member `j` is the first to accept (or `n` when none accepts).
+//!
+//! With per-iteration rejection probability `p_r`, a round advances
+//! `(1 − p_rⁿ)/(1 − p_r)` iterations in expectation for roughly one
+//! iteration of wall time — the runtime factor `(1 − p_r)/(1 − p_rⁿ)` of
+//! eq. (3).
+
+use parking_lot::Mutex;
+use pmcmc_core::diagnostics::AcceptanceStats;
+use pmcmc_core::moves::{propose, Proposal};
+use pmcmc_core::rng::derive_seed;
+use pmcmc_core::sampler::evaluate_proposal;
+use pmcmc_core::{Configuration, MoveKind, MoveWeights, NucleiModel, Xoshiro256};
+use pmcmc_runtime::SpinTeam;
+use rand::Rng;
+
+struct Candidate {
+    kind: MoveKind,
+    proposal: Option<Proposal>,
+    accept: bool,
+}
+
+/// The reusable speculative execution engine: a spin team plus per-lane
+/// RNG streams. [`SpeculativeSampler`] wraps it for standalone use;
+/// [`crate::periodic::PeriodicSampler`] embeds it to realise eq. (3)
+/// (speculative execution of the `Mg` phases).
+pub struct SpeculativeEngine {
+    team: SpinTeam,
+    rngs: Vec<Mutex<Xoshiro256>>,
+    /// Reused per-round result slots (avoids one allocation per round;
+    /// rounds last only a few microseconds).
+    slots: Vec<Mutex<Option<Candidate>>>,
+    rounds: u64,
+}
+
+impl SpeculativeEngine {
+    /// Creates an engine with `members` lanes (1 = sequential evaluation).
+    #[must_use]
+    pub fn new(seed: u64, members: usize) -> Self {
+        let members = members.max(1);
+        Self {
+            team: SpinTeam::new(members),
+            rngs: (0..members)
+                .map(|i| Mutex::new(Xoshiro256::new(derive_seed(seed, 1000 + i as u64))))
+                .collect(),
+            slots: (0..members).map(|_| Mutex::new(None)).collect(),
+            rounds: 0,
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.team.members()
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub const fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Runs one speculative round on `config`; returns the iterations the
+    /// chain consumed (`1..=members`).
+    pub fn round(
+        &mut self,
+        config: &mut Configuration,
+        model: &NucleiModel,
+        weights: &MoveWeights,
+        stats: &mut AcceptanceStats,
+    ) -> u64 {
+        self.rounds += 1;
+        let slots = &self.slots;
+        {
+            let config = &*config;
+            let rngs = &self.rngs;
+            self.team.broadcast(|id| {
+                let mut rng = rngs[id].lock();
+                let kind = weights.sample(&mut *rng);
+                let cand = match propose(kind, config, model, weights, &mut *rng) {
+                    None => Candidate {
+                        kind,
+                        proposal: None,
+                        accept: false,
+                    },
+                    Some(p) => {
+                        let eval = evaluate_proposal(config, model, &p);
+                        let log_alpha = eval.log_alpha(1.0);
+                        let accept = log_alpha >= 0.0 || rng.gen::<f64>().ln() < log_alpha;
+                        Candidate {
+                            kind,
+                            proposal: Some(p),
+                            accept,
+                        }
+                    }
+                };
+                *slots[id].lock() = Some(cand);
+            });
+        }
+        // Consume decisions in lane order up to (and including) the first
+        // acceptance; later lanes are discarded un-counted.
+        let mut consumed = 0u64;
+        for slot in slots {
+            let cand = slot.lock().take().expect("lane ran");
+            consumed += 1;
+            match (&cand.proposal, cand.accept) {
+                (None, _) => stats.record_invalid(cand.kind),
+                (Some(_), false) => stats.record_reject(cand.kind),
+                (Some(p), true) => {
+                    config.apply(&p.edit, model);
+                    stats.record_accept(cand.kind);
+                    break;
+                }
+            }
+        }
+        consumed
+    }
+
+    /// Runs rounds until at least `min_iters` iterations are consumed;
+    /// returns the exact number consumed.
+    pub fn run(
+        &mut self,
+        config: &mut Configuration,
+        model: &NucleiModel,
+        weights: &MoveWeights,
+        stats: &mut AcceptanceStats,
+        min_iters: u64,
+    ) -> u64 {
+        let mut consumed = 0;
+        while consumed < min_iters {
+            consumed += self.round(config, model, weights, stats);
+        }
+        consumed
+    }
+}
+
+/// A sampler that advances the chain with speculative rounds.
+pub struct SpeculativeSampler<'m> {
+    model: &'m NucleiModel,
+    /// The chain state.
+    pub config: Configuration,
+    engine: SpeculativeEngine,
+    weights: MoveWeights,
+    /// Acceptance accounting (counts exactly the iterations the chain
+    /// consumed, matching the sequential semantics).
+    pub stats: AcceptanceStats,
+    iterations: u64,
+}
+
+impl<'m> SpeculativeSampler<'m> {
+    /// Creates a sampler with `members` speculative lanes (1 = sequential)
+    /// and a random initial configuration.
+    #[must_use]
+    pub fn new(model: &'m NucleiModel, seed: u64, members: usize) -> Self {
+        let mut init_rng = Xoshiro256::new(seed);
+        let config = Configuration::random_init(model, &mut init_rng);
+        Self::with_config(model, config, seed, members)
+    }
+
+    /// Creates a sampler from an existing configuration.
+    #[must_use]
+    pub fn with_config(
+        model: &'m NucleiModel,
+        config: Configuration,
+        seed: u64,
+        members: usize,
+    ) -> Self {
+        Self {
+            model,
+            config,
+            engine: SpeculativeEngine::new(seed, members),
+            weights: MoveWeights::default(),
+            stats: AcceptanceStats::new(),
+            iterations: 0,
+        }
+    }
+
+    /// Number of speculative lanes.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.engine.members()
+    }
+
+    /// Replaces the move weights.
+    pub fn set_weights(&mut self, weights: MoveWeights) {
+        self.weights = weights;
+    }
+
+    /// Iterations consumed so far.
+    #[must_use]
+    pub const fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Rounds executed so far.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.engine.rounds()
+    }
+
+    /// Runs one speculative round; returns the number of iterations the
+    /// chain consumed (1..=members).
+    pub fn round(&mut self) -> u64 {
+        let consumed = self.engine.round(
+            &mut self.config,
+            self.model,
+            &self.weights,
+            &mut self.stats,
+        );
+        self.iterations += consumed;
+        consumed
+    }
+
+    /// Runs rounds until at least `n` iterations have been consumed.
+    pub fn run(&mut self, n: u64) {
+        let target = self.iterations + n;
+        while self.iterations < target {
+            self.round();
+        }
+    }
+
+    /// Log-posterior of the current state.
+    #[must_use]
+    pub fn log_posterior(&self) -> f64 {
+        self.config.log_posterior(self.model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcmc_core::ModelParams;
+    use pmcmc_imaging::synth::{generate, SceneSpec};
+
+    fn scene_model(size: u32, n: usize, seed: u64) -> (NucleiModel, Vec<pmcmc_imaging::Circle>) {
+        let spec = SceneSpec {
+            width: size,
+            height: size,
+            n_circles: n,
+            radius_mean: 8.0,
+            radius_sd: 0.8,
+            radius_min: 5.0,
+            radius_max: 12.0,
+            noise_sd: 0.05,
+            ..SceneSpec::default()
+        };
+        let mut rng = Xoshiro256::new(seed);
+        let scene = generate(&spec, &mut rng);
+        let img = scene.render(&mut rng);
+        let mut params = ModelParams::new(size, size, n as f64, 8.0);
+        params.noise_sd = 0.15;
+        (NucleiModel::new(&img, params), scene.circles)
+    }
+
+    #[test]
+    fn single_member_behaves_sequentially() {
+        let (model, _) = scene_model(96, 6, 1);
+        let mut s = SpeculativeSampler::new(&model, 5, 1);
+        s.run(2_000);
+        assert_eq!(s.iterations(), s.rounds());
+        s.config.verify_consistency(&model).unwrap();
+    }
+
+    #[test]
+    fn rounds_consume_between_one_and_n_iterations() {
+        let (model, _) = scene_model(96, 6, 2);
+        let mut s = SpeculativeSampler::new(&model, 9, 4);
+        for _ in 0..200 {
+            let consumed = s.round();
+            assert!((1..=4).contains(&consumed));
+        }
+        s.config.verify_consistency(&model).unwrap();
+    }
+
+    #[test]
+    fn expected_iterations_per_round_matches_rejection_rate() {
+        let (model, _) = scene_model(96, 8, 3);
+        let mut s = SpeculativeSampler::new(&model, 13, 4);
+        s.run(20_000);
+        let pr = s.stats.rejection_rate();
+        let expect = (1.0 - pr.powi(4)) / (1.0 - pr);
+        let got = s.iterations() as f64 / s.rounds() as f64;
+        // The formula assumes i.i.d. accept probability; tolerate the
+        // state-dependence with a generous band.
+        assert!(
+            (got - expect).abs() < 0.45,
+            "iters/round {got:.3} vs predicted {expect:.3} (p_r={pr:.3})"
+        );
+    }
+
+    #[test]
+    fn finds_planted_circles() {
+        let (model, truth) = scene_model(96, 6, 4);
+        let mut s = SpeculativeSampler::new(&model, 21, 4);
+        s.run(30_000);
+        let m = pmcmc_core::match_circles(&truth, s.config.circles(), 5.0);
+        assert!(m.recall() >= 0.8, "recall {}", m.recall());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (model, _) = scene_model(64, 4, 5);
+        let run = |seed| {
+            let mut s = SpeculativeSampler::new(&model, seed, 3);
+            s.run(3_000);
+            (s.config.len(), s.log_posterior())
+        };
+        let a = run(33);
+        let b = run(33);
+        assert_eq!(a.0, b.0);
+        assert!((a.1 - b.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,301 @@
+//! A persistent fixed-size worker pool with scoped, weighted task batches.
+//!
+//! The periodic-partitioning sampler runs one batch per local phase: one
+//! task per partition, weighted by the partition's iteration budget. The
+//! pool keeps its threads alive across phases so that per-phase overhead is
+//! limited to queue traffic (the paper's "overhead required to duplicate,
+//! arrange for parallel execution, and merge the partitions").
+//!
+//! Tasks may borrow from the caller's stack: [`WorkerPool::run_batch`]
+//! blocks until every task in the batch has finished, which makes the
+//! lifetime extension sound (same argument as `std::thread::scope`).
+
+use crate::scheduler::lpt_order;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Cumulative execution statistics for a pool.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total tasks executed.
+    pub tasks: u64,
+    /// Total busy nanoseconds summed over all workers.
+    pub busy_nanos: u64,
+    /// Number of batches run.
+    pub batches: u64,
+}
+
+/// A fixed-size thread pool executing batches of borrowed tasks.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+    tasks: Arc<AtomicU64>,
+    busy_nanos: Arc<AtomicU64>,
+    batches: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `threads` workers (at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
+        let tasks = Arc::new(AtomicU64::new(0));
+        let busy = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = receiver.clone();
+            let tasks = Arc::clone(&tasks);
+            let busy = Arc::clone(&busy);
+            let handle = std::thread::Builder::new()
+                .name(format!("pmcmc-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let start = Instant::now();
+                        job();
+                        busy.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        tasks.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        Self {
+            sender: Some(sender),
+            handles,
+            threads,
+            tasks,
+            busy_nanos: busy,
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks: self.tasks.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs a batch of weighted tasks to completion and returns their
+    /// results in task order. Tasks are submitted in LPT (descending
+    /// weight) order so that greedy pickup by free workers approximates
+    /// optimal load balancing when there are more tasks than threads.
+    ///
+    /// Tasks may borrow data from the caller: this function does not return
+    /// until every task has run, so borrows cannot dangle.
+    ///
+    /// # Panics
+    /// Re-raises the first panic raised by any task.
+    pub fn run_batch<'env, R, F>(&self, tasks: Vec<(f64, F)>) -> Vec<R>
+    where
+        R: Send + 'env,
+        F: FnOnce() -> R + Send + 'env,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.batches.fetch_add(1, Ordering::Relaxed);
+
+        let weights: Vec<f64> = tasks.iter().map(|(w, _)| *w).collect();
+        let order = lpt_order(&weights);
+
+        type TaskResult<R> = (usize, std::thread::Result<R>);
+        let (result_tx, result_rx) = unbounded::<TaskResult<R>>();
+
+        let mut slot_fns: Vec<Option<F>> = tasks.into_iter().map(|(_, f)| Some(f)).collect();
+        let sender = self.sender.as_ref().expect("pool alive");
+
+        for &i in &order {
+            let f = slot_fns[i].take().expect("each task submitted once");
+            let tx = result_tx.clone();
+            // Build the job with its true (non-'static) lifetime first.
+            let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(f));
+                // The batch owner blocks on the receiver, so it is alive.
+                let _ = tx.send((i, outcome));
+            });
+            // SAFETY: `run_batch` blocks below until it has received one
+            // result per task, and each result is sent only after its
+            // task's closure has returned. All `'env` borrows captured by
+            // `job` therefore strictly outlive the job's execution; the
+            // queue never holds a job past that point. This is the same
+            // soundness argument as `std::thread::scope`.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            sender.send(job).expect("pool workers alive");
+        }
+        drop(result_tx);
+
+        let mut results: Vec<Option<std::thread::Result<R>>> =
+            (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, outcome) = result_rx.recv().expect("one result per task");
+            results[i] = Some(outcome);
+        }
+        let mut first_panic = None;
+        let mut out = Vec::with_capacity(n);
+        for r in results {
+            match r.expect("all slots filled") {
+                Ok(v) => out.push(v),
+                Err(p) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = first_panic {
+            resume_unwind(p);
+        }
+        out
+    }
+
+    /// Convenience: maps `f` over `items` in parallel (unit weights) and
+    /// returns outputs in input order.
+    pub fn map<'env, T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'env,
+        R: Send + 'env,
+        F: Fn(T) -> R + Sync + Send + 'env,
+    {
+        let fref = &f;
+        self.run_batch(
+            items
+                .into_iter()
+                .map(|item| (1.0, move || fref(item)))
+                .collect(),
+        )
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel stops the workers after the queue drains.
+        self.sender.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let pool = WorkerPool::new(2);
+        let out: Vec<i32> = pool.run_batch(Vec::<(f64, fn() -> i32)>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_in_task_order_despite_lpt() {
+        let pool = WorkerPool::new(3);
+        // Weights deliberately unsorted; results must match input order.
+        let tasks: Vec<(f64, Box<dyn FnOnce() -> usize + Send>)> = (0..10usize)
+            .map(|i| {
+                let w = ((i * 7 % 5) as f64) + 0.5;
+                (w, Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            })
+            .collect();
+        let out = pool.run_batch(tasks);
+        assert_eq!(out, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<u64> = (0..100).collect();
+        let chunks: Vec<&[u64]> = data.chunks(10).collect();
+        let sums = pool.map(chunks, |c| c.iter().sum::<u64>());
+        assert_eq!(sums.iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn all_tasks_execute_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<(f64, _)> = (0..64)
+            .map(|_| {
+                let c = &counter;
+                (1.0, move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        pool.run_batch(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn more_tasks_than_threads() {
+        let pool = WorkerPool::new(2);
+        let out = pool.map((0..50).collect::<Vec<i64>>(), |i| i * 2);
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_batches_reuse_pool() {
+        let pool = WorkerPool::new(3);
+        for round in 0..20 {
+            let out = pool.map(vec![round; 5], |x: i32| x + 1);
+            assert_eq!(out, vec![round + 1; 5]);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.tasks, 100);
+        assert_eq!(stats.batches, 20);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch(vec![
+                (1.0, Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>),
+                (
+                    1.0,
+                    Box::new(|| -> usize { panic!("boom") }) as Box<dyn FnOnce() -> usize + Send>,
+                ),
+            ]);
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let out = pool.map(vec![1, 2, 3], |x: i32| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let pool = WorkerPool::new(2);
+        pool.map(vec![(); 4], |()| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        assert!(pool.stats().busy_nanos >= 4 * 4_000_000);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = WorkerPool::new(1);
+        let out = pool.map((0..10).collect::<Vec<i32>>(), |i| i - 1);
+        assert_eq!(out, (-1..9).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,125 @@
+//! Weighted task ordering and makespan prediction.
+//!
+//! §VI of the paper: partitions receive different iteration budgets, so
+//! "the time taken to complete the assigned iterations will vary
+//! considerably ... The processor dead-time that results can be reclaimed
+//! through the use of a task scheduler, allowing more partitions than there
+//! are available processors to be employed."
+//!
+//! With a shared work queue, submitting tasks in longest-processing-time
+//! (LPT) order yields the classic Graham list-scheduling bound of
+//! `(4/3 − 1/(3m))·OPT` on the makespan.
+
+/// Returns task indices ordered by descending weight (LPT submission
+/// order). Ties keep the original relative order (stable).
+#[must_use]
+pub fn lpt_order(weights: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..weights.len()).collect();
+    idx.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Simulates greedy list scheduling of `weights` (in the given order) onto
+/// `workers` identical machines and returns the resulting makespan.
+#[must_use]
+pub fn list_schedule_makespan(weights: &[f64], order: &[usize], workers: usize) -> f64 {
+    assert!(workers >= 1, "need at least one worker");
+    let mut loads = vec![0.0f64; workers];
+    for &i in order {
+        // Next task goes to the least-loaded machine.
+        let (min_idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("workers >= 1");
+        loads[min_idx] += weights[i];
+    }
+    loads.iter().copied().fold(0.0, f64::max)
+}
+
+/// Predicted makespan of LPT scheduling `weights` onto `workers` machines.
+#[must_use]
+pub fn lpt_makespan(weights: &[f64], workers: usize) -> f64 {
+    list_schedule_makespan(weights, &lpt_order(weights), workers)
+}
+
+/// A trivial lower bound on the optimal makespan:
+/// `max(max weight, total / workers)`.
+#[must_use]
+pub fn makespan_lower_bound(weights: &[f64], workers: usize) -> f64 {
+    assert!(workers >= 1, "need at least one worker");
+    let total: f64 = weights.iter().sum();
+    let max = weights.iter().copied().fold(0.0, f64::max);
+    max.max(total / workers as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpt_order_descending() {
+        let w = [1.0, 5.0, 3.0, 5.0];
+        assert_eq!(lpt_order(&w), vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn lpt_order_empty() {
+        assert!(lpt_order(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_worker_makespan_is_total() {
+        let w = [2.0, 3.0, 4.0];
+        assert!((lpt_makespan(&w, 1) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_lpt_example() {
+        // Weights 7,7,6,6,5,4,4,4,3 on 3 machines: LPT gives 16 (OPT 15.33 LB).
+        let w = [7.0, 7.0, 6.0, 6.0, 5.0, 4.0, 4.0, 4.0, 3.0];
+        let ms = lpt_makespan(&w, 3);
+        assert!(ms <= 17.0, "LPT makespan {ms}");
+        assert!(ms >= makespan_lower_bound(&w, 3));
+    }
+
+    #[test]
+    fn lpt_beats_or_matches_fifo_here() {
+        // Adversarial FIFO order: big task last forces imbalance.
+        let w = [1.0, 1.0, 1.0, 9.0];
+        let fifo = list_schedule_makespan(&w, &[0, 1, 2, 3], 2);
+        let lpt = lpt_makespan(&w, 2);
+        assert!(lpt <= fifo);
+        assert!((lpt - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lower_bound_dominated_by_largest_task() {
+        let w = [10.0, 1.0, 1.0];
+        assert!((makespan_lower_bound(&w, 4) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graham_bound_holds_on_random_inputs() {
+        // LPT ≤ (4/3 − 1/(3m))·OPT ≤ (4/3)·LB is implied; check vs LB.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / f64::from(u32::MAX) * 10.0 + 0.01
+        };
+        for m in 1..=8usize {
+            let w: Vec<f64> = (0..23).map(|_| next()).collect();
+            let ms = lpt_makespan(&w, m);
+            let lb = makespan_lower_bound(&w, m);
+            assert!(
+                ms <= (4.0 / 3.0) * lb + 1e-9,
+                "m={m}: LPT {ms} vs 4/3·LB {}",
+                (4.0 / 3.0) * lb
+            );
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! A low-latency broadcast team for speculative move rounds.
+//!
+//! Speculative moves ([11], §IV) evaluate `n` independent proposals of the
+//! *same* chain state concurrently; a round lasts roughly one MCMC
+//! iteration (microseconds), so channel-based dispatch would dominate the
+//! round. `SpinTeam` keeps `n − 1` helper threads spinning on a generation
+//! counter: broadcasting a closure costs one mutex store plus an atomic
+//! increment, giving sub-microsecond fan-out on an SMP machine — the
+//! "negligible overhead" regime the paper's eq. (3)/(4) assume.
+
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Type-erased shared job: a reference to the round's closure.
+struct SharedJob {
+    /// Raw wide pointer to the caller's closure; valid strictly for the
+    /// duration of one `broadcast` call (the leader does not return until
+    /// every helper has finished executing it).
+    ptr: *const (dyn Fn(usize) + Sync),
+}
+// SAFETY: the pointee is `Sync` (bound enforced in `broadcast`) and the
+// leader guarantees it outlives all concurrent use.
+unsafe impl Send for SharedJob {}
+
+struct TeamShared {
+    generation: AtomicU64,
+    completed: AtomicU64,
+    shutdown: AtomicBool,
+    panicked: AtomicBool,
+    job: Mutex<Option<SharedJob>>,
+}
+
+/// A team of spinning workers executing one closure per round, each with a
+/// distinct member id in `0..members` (id 0 is the calling thread).
+pub struct SpinTeam {
+    shared: Arc<TeamShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    members: usize,
+}
+
+impl SpinTeam {
+    /// Creates a team with `members` total members (≥ 1). `members − 1`
+    /// helper threads are spawned; the calling thread acts as member 0
+    /// during [`SpinTeam::broadcast`].
+    #[must_use]
+    pub fn new(members: usize) -> Self {
+        let members = members.max(1);
+        let shared = Arc::new(TeamShared {
+            generation: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            job: Mutex::new(None),
+        });
+        let mut handles = Vec::with_capacity(members - 1);
+        for id in 1..members {
+            let sh = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("pmcmc-spec-{id}"))
+                    .spawn(move || helper_loop(&sh, id))
+                    .expect("failed to spawn team helper"),
+            );
+        }
+        Self {
+            shared,
+            handles,
+            members,
+        }
+    }
+
+    /// Total team size including the calling thread.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Runs `f(member_id)` once on every member (ids `0..members`)
+    /// concurrently and returns when all have finished. The closure may
+    /// borrow caller state.
+    ///
+    /// # Panics
+    /// Panics if any member's closure panicked.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.members == 1 {
+            f(0);
+            return;
+        }
+        let helpers = (self.members - 1) as u64;
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: we erase the lifetime of `f_ref` to store it in the
+        // shared slot. The leader spins below until `completed == helpers`,
+        // i.e. until every helper has returned from the closure, before
+        // clearing the slot and returning — so the reference never outlives
+        // the closure it points to.
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(f_ref) };
+        *self.shared.job.lock() = Some(SharedJob { ptr: erased });
+        self.shared.completed.store(0, Ordering::Release);
+        self.shared.generation.fetch_add(1, Ordering::Release);
+
+        // Member 0 = the leader itself.
+        let leader_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        while self.shared.completed.load(Ordering::Acquire) < helpers {
+            std::hint::spin_loop();
+        }
+        *self.shared.job.lock() = None;
+
+        if leader_result.is_err() || self.shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("SpinTeam member panicked during broadcast");
+        }
+    }
+
+    /// Broadcasts `f` and collects each member's return value, in member
+    /// order.
+    pub fn broadcast_map<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let slots: Vec<Mutex<Option<R>>> = (0..self.members).map(|_| Mutex::new(None)).collect();
+        self.broadcast(|id| {
+            *slots[id].lock() = Some(f(id));
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("member ran"))
+            .collect()
+    }
+}
+
+fn helper_loop(shared: &TeamShared, id: usize) {
+    let mut last_gen = 0u64;
+    let mut idle_spins = 0u32;
+    loop {
+        let gen = shared.generation.load(Ordering::Acquire);
+        if gen == last_gen {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            idle_spins += 1;
+            if idle_spins < 10_000 {
+                std::hint::spin_loop();
+            } else if idle_spins < 20_000 {
+                std::thread::yield_now();
+            } else {
+                // Long idle: back off so an idle team doesn't burn a core.
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            continue;
+        }
+        idle_spins = 0;
+        last_gen = gen;
+        let job_ptr = shared.job.lock().as_ref().map(|j| j.ptr);
+        if let Some(ptr) = job_ptr {
+            // SAFETY: the leader keeps the closure alive until `completed`
+            // reaches the helper count; we increment only after returning.
+            let run = catch_unwind(AssertUnwindSafe(|| unsafe { (*ptr)(id) }));
+            if run.is_err() {
+                shared.panicked.store(true, Ordering::Release);
+            }
+        }
+        shared.completed.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl Drop for SpinTeam {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_member_runs_inline() {
+        let team = SpinTeam::new(1);
+        let hits = AtomicUsize::new(0);
+        team.broadcast(|id| {
+            assert_eq!(id, 0);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn every_member_runs_once_per_round() {
+        let team = SpinTeam::new(4);
+        for _ in 0..50 {
+            let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            team.broadcast(|id| {
+                hits[id].fetch_add(1, Ordering::SeqCst);
+            });
+            for h in &hits {
+                assert_eq!(h.load(Ordering::SeqCst), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_map_collects_in_member_order() {
+        let team = SpinTeam::new(3);
+        let out = team.broadcast_map(|id| id * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn members_can_borrow_caller_state() {
+        let team = SpinTeam::new(3);
+        let input = [5u64, 7, 9];
+        let out = team.broadcast_map(|id| input[id] * 2);
+        assert_eq!(out, vec![10, 14, 18]);
+    }
+
+    #[test]
+    fn many_rounds_back_to_back() {
+        let team = SpinTeam::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..1000 {
+            team.broadcast(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 2000);
+    }
+
+    #[test]
+    fn panic_in_member_propagates() {
+        let team = SpinTeam::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            team.broadcast(|id| {
+                if id == 1 {
+                    panic!("helper boom");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // Team survives and is usable again.
+        let out = team.broadcast_map(|id| id);
+        assert_eq!(out, vec![0, 1]);
+    }
+}

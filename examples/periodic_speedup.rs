@@ -1,0 +1,73 @@
+//! Periodic partitioning (§V) versus the sequential baseline: same
+//! iteration budget, measured wall time, plus the eq. (2) prediction.
+//!
+//! Run with: `cargo run --release --example periodic_speedup [iters]`
+
+use pmcmc::parallel::theory::eq2_fraction;
+use pmcmc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    // The §VII workload scaled to a quick demo: a cell field with q_g = 0.4.
+    let spec = SceneSpec {
+        width: 512,
+        height: 512,
+        n_circles: 60,
+        radius_mean: 10.0,
+        radius_sd: 1.2,
+        radius_min: 5.0,
+        radius_max: 18.0,
+        noise_sd: 0.05,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(99);
+    let scene = generate(&spec, &mut rng);
+    let image = scene.render(&mut rng);
+    let params = ModelParams::new(512, 512, 60.0, 10.0);
+    let model = NucleiModel::new(&image, params);
+
+    // Sequential baseline.
+    let t0 = Instant::now();
+    let mut seq = Sampler::new(&model, 5);
+    seq.run(iters);
+    let t_seq = t0.elapsed();
+    println!(
+        "sequential: {iters} iterations in {:.2}s ({} circles)",
+        t_seq.as_secs_f64(),
+        seq.config.len()
+    );
+
+    // Periodic partitioning with the §VII corner scheme on 4 threads.
+    for threads in [2usize, 4] {
+        let mut ps = PeriodicSampler::new(
+            &model,
+            5,
+            PeriodicOptions {
+                global_phase_iters: 256,
+                scheme: PartitionScheme::Corner,
+                threads,
+                ..PeriodicOptions::default()
+            },
+        );
+        let report = ps.run(iters);
+        let frac = report.total_time.as_secs_f64() / t_seq.as_secs_f64();
+        println!(
+            "periodic ({threads} threads): {} iterations in {:.2}s → {:.0}% of sequential \
+             (eq.2 ideal with s={threads}: {:.0}%) [global {:.2}s, local {:.2}s, overhead {:.2}s; \
+             {} circles]",
+            report.total_iters(),
+            report.total_time.as_secs_f64(),
+            100.0 * frac,
+            100.0 * eq2_fraction(0.4, threads),
+            report.global_time.as_secs_f64(),
+            report.local_time.as_secs_f64(),
+            report.overhead_time.as_secs_f64(),
+            ps.config().len()
+        );
+    }
+}

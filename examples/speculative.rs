@@ -1,0 +1,58 @@
+//! Speculative moves ([11]): measured iterations-per-round and wall-time
+//! speedup versus the (1 − p_r)/(1 − p_rⁿ) prediction of §VI.
+//!
+//! Run with: `cargo run --release --example speculative [iters]`
+
+use pmcmc::parallel::theory::{speculative_fraction, speculative_iters_per_round};
+use pmcmc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+
+    let spec = SceneSpec {
+        width: 384,
+        height: 384,
+        n_circles: 40,
+        radius_mean: 9.0,
+        radius_sd: 1.0,
+        radius_min: 5.0,
+        radius_max: 14.0,
+        noise_sd: 0.05,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(17);
+    let scene = generate(&spec, &mut rng);
+    let image = scene.render(&mut rng);
+    let params = ModelParams::new(384, 384, 40.0, 9.0);
+    let model = NucleiModel::new(&image, params);
+
+    // Sequential reference (1 lane).
+    let t0 = Instant::now();
+    let mut seq = SpeculativeSampler::new(&model, 3, 1);
+    seq.run(iters);
+    let t_seq = t0.elapsed().as_secs_f64();
+    let pr = seq.stats.rejection_rate();
+    println!("sequential: {t_seq:.2}s for {iters} iterations, rejection rate p_r = {pr:.3}");
+
+    for lanes in [2usize, 4, 8] {
+        let t1 = Instant::now();
+        let mut s = SpeculativeSampler::new(&model, 3, lanes);
+        s.run(iters);
+        let t = t1.elapsed().as_secs_f64();
+        let ipr = s.iterations() as f64 / s.rounds() as f64;
+        println!(
+            "{lanes} lanes: {:.2}s → {:.0}% of sequential (theory {:.0}%); \
+             iterations/round {:.2} (theory {:.2}); {} circles found",
+            t,
+            100.0 * t / t_seq,
+            100.0 * speculative_fraction(pr, lanes),
+            ipr,
+            speculative_iters_per_round(pr, lanes),
+            s.config.len()
+        );
+    }
+}

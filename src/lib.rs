@@ -1,0 +1,62 @@
+//! # pmcmc — Parallel MCMC Image Processing
+//!
+//! A Rust reproduction of *"On the Parallelisation of MCMC-based Image
+//! Processing"* (J. M. R. Byrd, S. A. Jarvis, A. H. Bhalerao — IEEE IPDPS
+//! Workshops, 2010).
+//!
+//! The paper parallelises a reversible-jump MCMC application — detecting
+//! stained cell nuclei, abstracted to *finding circles of high intensity*
+//! — along the data axis, and this workspace implements all of it:
+//!
+//! | Method | Module | Statistical validity |
+//! |---|---|---|
+//! | Sequential RJMCMC baseline | [`core::sampler`] | exact |
+//! | Periodic partitioning (§V) | [`parallel::periodic`] | exact |
+//! | Speculative moves ([11]) | [`parallel::speculative`] | exact |
+//! | (MC)³ coupled chains (§IV) | [`core::mc3`] | exact |
+//! | Intelligent partitioning (§VIII) | [`parallel::intelligent`] | heuristic |
+//! | Blind partitioning (§VIII) | [`parallel::blind`] | heuristic |
+//! | Naive split (anti-baseline, §II) | [`parallel::naive`] | broken (by design) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pmcmc::prelude::*;
+//!
+//! // Generate a synthetic cell image with known ground truth.
+//! let spec = SceneSpec { width: 128, height: 128, n_circles: 6, ..SceneSpec::default() };
+//! let mut rng = Xoshiro256::new(7);
+//! let scene = generate(&spec, &mut rng);
+//! let image = scene.render(&mut rng);
+//!
+//! // Build the Bayesian model and run the sequential sampler.
+//! let params = ModelParams::new(128, 128, 6.0, 10.0);
+//! let model = NucleiModel::new(&image, params);
+//! let mut sampler = Sampler::new(&model, 42);
+//! sampler.run(10_000);
+//! println!("found {} circles", sampler.config.len());
+//! ```
+//!
+//! See `examples/` for the full pipelines and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+pub use pmcmc_core as core;
+pub use pmcmc_imaging as imaging;
+pub use pmcmc_parallel as parallel;
+pub use pmcmc_runtime as runtime;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use pmcmc_core::{
+        match_circles, Configuration, ConvergenceDetector, Mc3, ModelParams, MoveKind,
+        MoveWeights, NucleiModel, ProposalScales, Sampler, Trace, Xoshiro256,
+    };
+    pub use pmcmc_imaging::synth::{generate, generate_clustered, ClusterSpec, Scene, SceneSpec};
+    pub use pmcmc_imaging::{Circle, GrayImage, Mask, PartitionGrid, Rect};
+    pub use pmcmc_parallel::{
+        run_blind, run_intelligent, run_naive, BlindOptions, DisputePolicy,
+        IntelligentPartitioner, NaiveOptions, PartitionScheme, PeriodicOptions, PeriodicSampler,
+        SpeculativeSampler, SubChainOptions,
+    };
+    pub use pmcmc_runtime::WorkerPool;
+}

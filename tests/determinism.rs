@@ -1,0 +1,150 @@
+//! Reproducibility guarantees across the public API: identical seeds give
+//! identical results, including for the parallel drivers regardless of
+//! thread count (DESIGN.md: "results depend on the partition schedule, not
+//! on OS scheduling").
+
+use pmcmc::prelude::*;
+
+fn model() -> (NucleiModel, Vec<Circle>, GrayImage) {
+    let spec = SceneSpec {
+        width: 160,
+        height: 160,
+        n_circles: 9,
+        radius_mean: 8.0,
+        radius_sd: 0.8,
+        radius_min: 5.0,
+        radius_max: 12.0,
+        noise_sd: 0.05,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(77);
+    let sc = generate(&spec, &mut rng);
+    let img = sc.render(&mut rng);
+    let params = ModelParams::new(160, 160, 9.0, 8.0);
+    (NucleiModel::new(&img, params.clone()), sc.circles, img)
+}
+
+fn fingerprint(circles: &[Circle]) -> (usize, f64) {
+    let sum: f64 = circles.iter().map(|c| c.x * 3.0 + c.y * 7.0 + c.r * 11.0).sum();
+    (circles.len(), sum)
+}
+
+#[test]
+fn scene_generation_is_deterministic() {
+    let (_, t1, img1) = model();
+    let (_, t2, img2) = model();
+    assert_eq!(fingerprint(&t1), fingerprint(&t2));
+    assert_eq!(img1, img2);
+}
+
+#[test]
+fn periodic_identical_across_thread_counts() {
+    let (m, _, _) = model();
+    let run = |threads: usize| {
+        let mut ps = PeriodicSampler::new(
+            &m,
+            42,
+            PeriodicOptions {
+                global_phase_iters: 100,
+                scheme: PartitionScheme::Corner,
+                threads,
+                ..PeriodicOptions::default()
+            },
+        );
+        ps.run(20_000);
+        fingerprint(ps.config().circles())
+    };
+    let one = run(1);
+    let two = run(2);
+    let eight = run(8);
+    assert_eq!(one.0, two.0, "circle count differs between 1 and 2 threads");
+    assert!((one.1 - two.1).abs() < 1e-6, "{} vs {}", one.1, two.1);
+    assert_eq!(one.0, eight.0);
+    assert!((one.1 - eight.1).abs() < 1e-6);
+}
+
+#[test]
+fn blind_identical_across_pool_sizes() {
+    let (_, truth, img) = model();
+    let base = ModelParams::new(160, 160, truth.len() as f64, 8.0);
+    let opts = BlindOptions {
+        chain: SubChainOptions {
+            max_iters: 20_000,
+            ..SubChainOptions::default()
+        },
+        ..BlindOptions::default()
+    };
+    let run = |threads: usize| {
+        let pool = WorkerPool::new(threads);
+        let res = pmcmc::parallel::run_blind(&img, &base, &opts, &pool, 5);
+        fingerprint(&res.merged)
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.0, b.0);
+    assert!((a.1 - b.1).abs() < 1e-6);
+}
+
+#[test]
+fn intelligent_identical_across_pool_sizes() {
+    let spec = SceneSpec {
+        width: 224,
+        height: 224,
+        radius_mean: 8.0,
+        radius_sd: 0.4,
+        radius_min: 5.0,
+        radius_max: 12.0,
+        noise_sd: 0.04,
+        ..SceneSpec::default()
+    };
+    let clusters = [
+        ClusterSpec {
+            cx: 56.0,
+            cy: 56.0,
+            n: 3,
+            spread: 14.0,
+        },
+        ClusterSpec {
+            cx: 168.0,
+            cy: 168.0,
+            n: 4,
+            spread: 18.0,
+        },
+    ];
+    let mut rng = Xoshiro256::new(3);
+    let sc = generate_clustered(&spec, &clusters, &mut rng);
+    let img = sc.render(&mut rng);
+    let base = ModelParams::new(224, 224, 7.0, 8.0);
+    let opts = SubChainOptions {
+        max_iters: 20_000,
+        ..SubChainOptions::default()
+    };
+    let run = |threads: usize| {
+        let pool = WorkerPool::new(threads);
+        let res = pmcmc::parallel::run_intelligent(
+            &img,
+            &base,
+            &IntelligentPartitioner::default(),
+            &opts,
+            &pool,
+            9,
+        );
+        fingerprint(&res.merged)
+    };
+    let a = run(1);
+    let b = run(6);
+    assert_eq!(a.0, b.0);
+    assert!((a.1 - b.1).abs() < 1e-6);
+}
+
+#[test]
+fn different_seeds_give_different_chains() {
+    let (m, _, _) = model();
+    let mut a = Sampler::new(&m, 1);
+    let mut b = Sampler::new(&m, 2);
+    a.run(5_000);
+    b.run(5_000);
+    let fa = fingerprint(a.config.circles());
+    let fb = fingerprint(b.config.circles());
+    assert!(fa != fb, "independent seeds produced identical states");
+}

@@ -1,0 +1,234 @@
+//! Cross-crate integration tests: every parallelisation scheme runs the
+//! full detect-circles pipeline on the same synthetic scene and must reach
+//! comparable quality.
+
+use pmcmc::prelude::*;
+
+/// The shared test scene: 12 cells on 192², moderate noise.
+fn scene(seed: u64) -> (NucleiModel, Vec<Circle>, GrayImage) {
+    let spec = SceneSpec {
+        width: 192,
+        height: 192,
+        n_circles: 12,
+        radius_mean: 8.0,
+        radius_sd: 0.8,
+        radius_min: 5.0,
+        radius_max: 12.0,
+        noise_sd: 0.05,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(seed);
+    let sc = generate(&spec, &mut rng);
+    let img = sc.render(&mut rng);
+    let mut params = ModelParams::new(192, 192, 12.0, 8.0);
+    params.noise_sd = 0.15;
+    (NucleiModel::new(&img, params), sc.circles, img)
+}
+
+#[test]
+fn sequential_pipeline_detects_scene() {
+    let (model, truth, _) = scene(1);
+    let mut s = Sampler::new_empty(&model, 10);
+    s.run(60_000);
+    let m = match_circles(&truth, s.config.circles(), 5.0);
+    assert!(m.f1() >= 0.85, "sequential F1 {}", m.f1());
+    s.config.verify_consistency(&model).unwrap();
+}
+
+#[test]
+fn periodic_pipeline_matches_sequential_quality() {
+    let (model, truth, _) = scene(2);
+    let mut ps = PeriodicSampler::new(
+        &model,
+        11,
+        PeriodicOptions {
+            global_phase_iters: 128,
+            scheme: PartitionScheme::Corner,
+            threads: 4,
+            ..PeriodicOptions::default()
+        },
+    );
+    ps.run(60_000);
+    let m = match_circles(&truth, ps.config().circles(), 5.0);
+    assert!(m.f1() >= 0.85, "periodic F1 {}", m.f1());
+    ps.config().verify_consistency(&model).unwrap();
+}
+
+#[test]
+fn periodic_grid_scheme_pipeline() {
+    let (model, truth, _) = scene(3);
+    let mut ps = PeriodicSampler::new(
+        &model,
+        12,
+        PeriodicOptions {
+            global_phase_iters: 128,
+            scheme: PartitionScheme::Grid { xm: 96, ym: 96 },
+            threads: 4,
+            ..PeriodicOptions::default()
+        },
+    );
+    ps.run(60_000);
+    let m = match_circles(&truth, ps.config().circles(), 5.0);
+    assert!(m.f1() >= 0.8, "grid periodic F1 {}", m.f1());
+}
+
+#[test]
+fn speculative_pipeline_matches_sequential_quality() {
+    let (model, truth, _) = scene(4);
+    let mut s = SpeculativeSampler::new(&model, 13, 4);
+    s.run(60_000);
+    let m = match_circles(&truth, s.config.circles(), 5.0);
+    assert!(m.f1() >= 0.85, "speculative F1 {}", m.f1());
+    s.config.verify_consistency(&model).unwrap();
+}
+
+#[test]
+fn mc3_pipeline_detects_scene() {
+    let (model, truth, _) = scene(5);
+    let mut mc3 = Mc3::new(&model, 3, 0.4, 14);
+    mc3.run(120, 500);
+    let m = match_circles(&truth, mc3.cold().config.circles(), 5.0);
+    assert!(m.f1() >= 0.75, "mc3 F1 {}", m.f1());
+}
+
+#[test]
+fn blind_pipeline_on_uniform_scene() {
+    let (_, truth, img) = scene(6);
+    let base = ModelParams::new(192, 192, truth.len() as f64, 8.0);
+    let pool = WorkerPool::new(4);
+    let opts = BlindOptions {
+        chain: SubChainOptions {
+            max_iters: 60_000,
+            ..SubChainOptions::default()
+        },
+        ..BlindOptions::default()
+    };
+    let res = pmcmc::parallel::run_blind(&img, &base, &opts, &pool, 15);
+    let m = match_circles(&truth, &res.merged, 5.0);
+    assert!(m.f1() >= 0.8, "blind F1 {}", m.f1());
+}
+
+#[test]
+fn intelligent_pipeline_on_clustered_scene() {
+    let spec = SceneSpec {
+        width: 256,
+        height: 256,
+        radius_mean: 8.0,
+        radius_sd: 0.5,
+        radius_min: 5.0,
+        radius_max: 12.0,
+        noise_sd: 0.04,
+        ..SceneSpec::default()
+    };
+    let clusters = [
+        ClusterSpec {
+            cx: 60.0,
+            cy: 64.0,
+            n: 4,
+            spread: 18.0,
+        },
+        ClusterSpec {
+            cx: 190.0,
+            cy: 190.0,
+            n: 6,
+            spread: 26.0,
+        },
+    ];
+    let mut rng = Xoshiro256::new(7);
+    let sc = generate_clustered(&spec, &clusters, &mut rng);
+    let img = sc.render(&mut rng);
+    let base = ModelParams::new(256, 256, 10.0, 8.0);
+    let pool = WorkerPool::new(4);
+    let res = pmcmc::parallel::run_intelligent(
+        &img,
+        &base,
+        &IntelligentPartitioner::default(),
+        &SubChainOptions {
+            max_iters: 60_000,
+            ..SubChainOptions::default()
+        },
+        &pool,
+        16,
+    );
+    assert!(res.partitions.len() >= 2, "pre-processor found no corridor");
+    let m = match_circles(&sc.circles, &res.merged, 5.0);
+    assert!(m.f1() >= 0.8, "intelligent F1 {}", m.f1());
+}
+
+#[test]
+fn all_exact_methods_agree_on_posterior_count() {
+    // Sequential, periodic and speculative sample the same posterior: their
+    // long-run mean circle counts must agree. A strong overlap penalty
+    // removes the slow-mixing "two overlapping circles on one blob" mode so
+    // single-seed tail means are a sharp comparison.
+    let (mut model, truth, _) = scene(8);
+    model.params.overlap_gamma = 0.5;
+    let model = model;
+    let tail = |counts: &[usize]| -> f64 {
+        let t = &counts[counts.len() / 2..];
+        t.iter().sum::<usize>() as f64 / t.len() as f64
+    };
+
+    let mut seq = Sampler::new_empty(&model, 30);
+    let mut seq_counts = Vec::new();
+    for _ in 0..120 {
+        seq.run(500);
+        seq_counts.push(seq.config.len());
+    }
+
+    let mut per = PeriodicSampler::new(&model, 31, PeriodicOptions::default());
+    let mut per_counts = Vec::new();
+    for _ in 0..120 {
+        per.run(500);
+        per_counts.push(per.config().len());
+    }
+
+    let mut spec = SpeculativeSampler::new(&model, 32, 4);
+    let mut spec_counts = Vec::new();
+    for _ in 0..120 {
+        spec.run(500);
+        spec_counts.push(spec.config.len());
+    }
+
+    let (a, b, c) = (tail(&seq_counts), tail(&per_counts), tail(&spec_counts));
+    let n = truth.len() as f64;
+    for (label, v) in [("sequential", a), ("periodic", b), ("speculative", c)] {
+        assert!(
+            (v - n).abs() <= 2.0,
+            "{label} posterior count mean {v} far from truth {n}"
+        );
+    }
+    assert!((a - b).abs() <= 1.5, "seq {a} vs periodic {b}");
+    assert!((a - c).abs() <= 1.5, "seq {a} vs speculative {c}");
+}
+
+#[test]
+fn stained_rgb_pipeline_end_to_end() {
+    // The paper's §III front-end: colour micrograph → colour-emphasis
+    // filter → intensity image → RJMCMC. The whole chain must still find
+    // the planted nuclei.
+    use pmcmc::imaging::color::{emphasize_color, render_stained};
+    const STAIN: [f32; 3] = [0.55, 0.15, 0.55];
+    const TISSUE: [f32; 3] = [0.88, 0.80, 0.76];
+    let spec = SceneSpec {
+        width: 160,
+        height: 160,
+        n_circles: 8,
+        radius_mean: 8.0,
+        radius_sd: 0.8,
+        radius_min: 5.0,
+        radius_max: 12.0,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(21);
+    let sc = generate(&spec, &mut rng);
+    let rgb = render_stained(160, 160, &sc.circles, STAIN, TISSUE, 1.0, 0.03, &mut rng);
+    let intensity = emphasize_color(&rgb, STAIN, 0.3);
+    let mut params = ModelParams::new(160, 160, 8.0, 8.0);
+    params.noise_sd = 0.15;
+    let model = NucleiModel::new(&intensity, params);
+    let mut s = Sampler::new_empty(&model, 5);
+    s.run(50_000);
+    let m = match_circles(&sc.circles, s.config.circles(), 5.0);
+    assert!(m.f1() >= 0.85, "stained pipeline F1 {}", m.f1());
+}
