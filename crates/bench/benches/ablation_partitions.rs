@@ -40,11 +40,46 @@ fn main() {
 
     let spacings: Vec<(String, PartitionScheme, i64)> = vec![
         ("corner (4 uneven)".into(), PartitionScheme::Corner, side),
-        ("grid s/2".into(), PartitionScheme::Grid { xm: side / 2, ym: side / 2 }, side / 2),
-        ("grid s/3".into(), PartitionScheme::Grid { xm: side / 3, ym: side / 3 }, side / 3),
-        ("grid s/4".into(), PartitionScheme::Grid { xm: side / 4, ym: side / 4 }, side / 4),
-        ("grid s/6".into(), PartitionScheme::Grid { xm: side / 6, ym: side / 6 }, side / 6),
-        ("grid s/8".into(), PartitionScheme::Grid { xm: side / 8, ym: side / 8 }, side / 8),
+        (
+            "grid s/2".into(),
+            PartitionScheme::Grid {
+                xm: side / 2,
+                ym: side / 2,
+            },
+            side / 2,
+        ),
+        (
+            "grid s/3".into(),
+            PartitionScheme::Grid {
+                xm: side / 3,
+                ym: side / 3,
+            },
+            side / 3,
+        ),
+        (
+            "grid s/4".into(),
+            PartitionScheme::Grid {
+                xm: side / 4,
+                ym: side / 4,
+            },
+            side / 4,
+        ),
+        (
+            "grid s/6".into(),
+            PartitionScheme::Grid {
+                xm: side / 6,
+                ym: side / 6,
+            },
+            side / 6,
+        ),
+        (
+            "grid s/8".into(),
+            PartitionScheme::Grid {
+                xm: side / 8,
+                ym: side / 8,
+            },
+            side / 8,
+        ),
     ];
 
     let mut table = Table::new(

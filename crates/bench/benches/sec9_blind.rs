@@ -11,11 +11,9 @@
 use pmcmc_bench::{bench_repeats, print_header, table1_workload};
 use pmcmc_core::match_circles;
 use pmcmc_core::rng::derive_seed;
-use pmcmc_parallel::report::{fmt_f, Table};
-use pmcmc_parallel::{
-    run_blind, run_partition_chain, BlindOptions, SubChainOptions,
-};
 use pmcmc_imaging::Rect;
+use pmcmc_parallel::report::{fmt_f, Table};
+use pmcmc_parallel::{run_blind, run_partition_chain, BlindOptions, SubChainOptions};
 use pmcmc_runtime::WorkerPool;
 
 fn main() {
@@ -29,7 +27,13 @@ fn main() {
     let whole = Rect::of_image(w.image.width(), w.image.height());
     let mut whole_runtime = 0.0;
     for rep in 0..repeats {
-        let res = run_partition_chain(&w.image, whole, &w.model.params, &opts, derive_seed(5, rep as u64));
+        let res = run_partition_chain(
+            &w.image,
+            whole,
+            &w.model.params,
+            &opts,
+            derive_seed(5, rep as u64),
+        );
         whole_runtime += res.runtime.as_secs_f64();
     }
     whole_runtime /= repeats as f64;

@@ -138,11 +138,7 @@ fn main() {
         );
         let report = ps.run(iters);
         let t = t1.elapsed().as_secs_f64() * iters as f64 / report.total_iters() as f64;
-        realised.push_row(vec![
-            lanes.to_string(),
-            fmt_secs(t),
-            fmt_f(t / t_seq, 3),
-        ]);
+        realised.push_row(vec![lanes.to_string(), fmt_secs(t), fmt_f(t / t_seq, 3)]);
     }
     println!("{}", realised.render());
 }

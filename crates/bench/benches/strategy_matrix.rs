@@ -1,0 +1,69 @@
+//! MATRIX — the cross-scheme comparison the paper never printed as one
+//! table: every registered strategy swept through the unified engine on
+//! the §VII workload, reporting quality, runtime and phase breakdown on
+//! identical inputs.
+//!
+//! This is the bench-side consumer of `pmcmc_parallel::engine`: adding a
+//! scheme to the registry adds a row here with no further changes.
+
+use pmcmc_bench::{bench_iters, print_header, section7_workload};
+use pmcmc_core::match_circles;
+use pmcmc_parallel::engine::{registry, RunRequest};
+use pmcmc_parallel::report::{fmt_f, fmt_secs, Table};
+use pmcmc_runtime::WorkerPool;
+
+fn main() {
+    print_header("MATRIX: all strategies through the engine", "whole paper");
+    let w = section7_workload(42);
+    let iters = bench_iters();
+    let pool = WorkerPool::new(4);
+    let req = RunRequest::new(&w.image, &w.model.params, &pool, 7).iterations(iters);
+    println!(
+        "workload: {}x{} image, {} cells, {} iterations, {} workers",
+        w.image.width(),
+        w.image.height(),
+        w.truth.len(),
+        iters,
+        pool.threads()
+    );
+
+    let mut table = Table::new(
+        "strategy matrix (identical request per row)",
+        &[
+            "strategy",
+            "validity",
+            "found",
+            "F1",
+            "anomalies",
+            "runtime",
+            "fraction of seq",
+            "partitions",
+        ],
+    );
+
+    let mut seq_time = None;
+    for strategy in registry() {
+        let report = strategy.run(&req);
+        let m = match_circles(&w.truth, report.detected(), 5.0);
+        let secs = report.total_time.as_secs_f64();
+        if report.strategy == "sequential" {
+            seq_time = Some(secs);
+        }
+        let frac = seq_time.map_or_else(|| "-".to_owned(), |t| fmt_f(secs / t, 3));
+        table.push_row(vec![
+            report.strategy.clone(),
+            report.validity.label().to_owned(),
+            report.detected().len().to_string(),
+            fmt_f(m.f1(), 3),
+            m.anomaly_count().to_string(),
+            fmt_secs(secs),
+            frac,
+            report.diagnostics.partitions.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "reading guide: exact rows must match sequential's F1 band; heuristic rows trade \
+         validity for wall time; the naive row shows the boundary anomalies of §II."
+    );
+}

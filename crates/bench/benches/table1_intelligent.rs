@@ -11,11 +11,9 @@
 
 use pmcmc_bench::{bench_repeats, print_header, table1_workload};
 use pmcmc_core::rng::derive_seed;
-use pmcmc_parallel::report::{fmt_f, Table};
-use pmcmc_parallel::{
-    run_partition_chain, IntelligentPartitioner, SubChainOptions,
-};
 use pmcmc_imaging::Rect;
+use pmcmc_parallel::report::{fmt_f, Table};
+use pmcmc_parallel::{run_partition_chain, IntelligentPartitioner, SubChainOptions};
 
 fn main() {
     print_header("TAB1: intelligent partitioning statistics", "Table I, §IX");
@@ -140,5 +138,7 @@ fn main() {
         sum_others,
         longest.max(sum_others)
     );
-    println!("paper reference: rel areas 0.147/0.624/0.226, rel runtimes 0.07/0.90/0.02, overall -10%");
+    println!(
+        "paper reference: rel areas 0.147/0.624/0.226, rel runtimes 0.07/0.90/0.02, overall -10%"
+    );
 }

@@ -22,7 +22,7 @@ use pmcmc_imaging::{Circle, GrayImage};
 /// Whether quick (smoke) mode is requested.
 #[must_use]
 pub fn quick_mode() -> bool {
-    std::env::var("PMCMC_BENCH_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+    std::env::var("PMCMC_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Iteration budget for the §VII workload.

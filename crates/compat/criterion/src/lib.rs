@@ -1,0 +1,159 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate (see `crates/compat/rand` for why the workspace vendors stubs).
+//!
+//! Implements the subset the workspace's micro-benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], plus the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Instead of criterion's statistical engine it
+//! runs a warm-up, then measures batches until a fixed time budget is
+//! reached and reports the median-of-batches ns/iteration — stable enough
+//! to compare hot-path changes locally, and fast enough for CI's
+//! `cargo bench --no-run` compile gate to be the expensive part.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Per-batch mean ns/iter samples collected by [`Bencher::iter`].
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, storing batch samples for the harness to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: let caches/branch predictors settle and estimate cost.
+        let warmup_budget = Duration::from_millis(30);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup_budget {
+            hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Measurement: ~10 batches inside a fixed budget.
+        let measure_budget = Duration::from_millis(120);
+        let batch = ((measure_budget.as_secs_f64() / 10.0 / est_per_iter) as u64).max(1);
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < measure_budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.samples);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&id, &mut b.samples);
+        self
+    }
+}
+
+fn report(id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples — closure never called iter?)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = samples[samples.len() / 2];
+    let lo = samples[0];
+    let hi = samples[samples.len() - 1];
+    println!("{id:<40} {median:>12.1} ns/iter  [{lo:.1} .. {hi:.1}]");
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.bench_function("add", |b| b.iter(|| black_box(1) + black_box(2)));
+        g.finish();
+        c.bench_function("mul", |b| b.iter(|| black_box(3) * black_box(4)));
+    }
+}

@@ -7,8 +7,8 @@
 //! needed by the Metropolis–Hastings ratio and enough information to build
 //! the exact inverse edit when a proposal is rejected.
 
-use crate::model::NucleiModel;
 use crate::coverage::CoverageGrid;
+use crate::model::NucleiModel;
 use crate::spatial::SpatialGrid;
 use pmcmc_imaging::{Circle, Rect};
 
@@ -112,10 +112,7 @@ impl Configuration {
     pub fn from_circles(model: &NucleiModel, circles: &[Circle]) -> Self {
         let mut cfg = Self::empty(model);
         for &c in circles {
-            cfg.apply(
-                &Edit::add_one(c),
-                model,
-            );
+            cfg.apply(&Edit::add_one(c), model);
         }
         cfg
     }
@@ -433,8 +430,7 @@ impl Configuration {
     /// Describes the first inconsistent cache found.
     pub fn verify_consistency(&self, model: &NucleiModel) -> Result<(), String> {
         let frame = Rect::of_image(model.params.width, model.params.height);
-        let (fresh_cov, fresh_lik) =
-            CoverageGrid::from_circles(frame, &self.circles, &model.gain);
+        let (fresh_cov, fresh_lik) = CoverageGrid::from_circles(frame, &self.circles, &model.gain);
         if fresh_cov != self.coverage {
             return Err("coverage grid out of sync".into());
         }
@@ -671,8 +667,7 @@ mod tests {
     #[should_panic(expected = "duplicate removal")]
     fn duplicate_removal_panics() {
         let m = test_model(64, 64);
-        let mut cfg =
-            Configuration::from_circles(&m, &[Circle::new(20.0, 20.0, 8.0)]);
+        let mut cfg = Configuration::from_circles(&m, &[Circle::new(20.0, 20.0, 8.0)]);
         let edit = Edit {
             remove: vec![0, 0],
             add: vec![],

@@ -273,8 +273,7 @@ mod tests {
     fn crop_paste_roundtrip() {
         let (_, gain) = setup(40, 40);
         let circles = vec![Circle::new(12.0, 12.0, 6.0), Circle::new(30.0, 28.0, 5.0)];
-        let (mut grid, _) =
-            CoverageGrid::from_circles(Rect::new(0, 0, 40, 40), &circles, &gain);
+        let (mut grid, _) = CoverageGrid::from_circles(Rect::new(0, 0, 40, 40), &circles, &gain);
         let sub_rect = Rect::new(5, 5, 25, 25);
         let mut sub = grid.crop(sub_rect);
         // Mutate within the sub-grid, paste back, and verify counts.

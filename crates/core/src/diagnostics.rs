@@ -261,10 +261,10 @@ impl ConvergenceDetector {
             self.history.pop_front();
         }
         if self.converged_at.is_none() && self.history.len() == 2 * self.window {
-            let first: f64 = self.history.iter().take(self.window).sum::<f64>()
-                / self.window as f64;
-            let second: f64 = self.history.iter().skip(self.window).sum::<f64>()
-                / self.window as f64;
+            let first: f64 =
+                self.history.iter().take(self.window).sum::<f64>() / self.window as f64;
+            let second: f64 =
+                self.history.iter().skip(self.window).sum::<f64>() / self.window as f64;
             if second - first < self.tolerance {
                 self.converged_at = Some(iteration);
             }

@@ -255,11 +255,7 @@ fn propose_merge(
     let (i, j) = pairs[rng.gen_range(0..pairs.len())];
     let a = config.circle(i);
     let b = config.circle(j);
-    let merged = Circle::new(
-        0.5 * (a.x + b.x),
-        0.5 * (a.y + b.y),
-        0.5 * (a.r + b.r),
-    );
+    let merged = Circle::new(0.5 * (a.x + b.x), 0.5 * (a.y + b.y), 0.5 * (a.r + b.r));
     // Recover the auxiliaries the reverse split would need.
     let u1 = 0.5 * (b.x - a.x);
     let u2 = 0.5 * (b.y - a.y);

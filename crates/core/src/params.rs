@@ -340,10 +340,7 @@ mod tests {
         for &k in &MoveKind::ALL {
             let frac = *counts.get(&k).unwrap_or(&0) as f64 / n as f64;
             let expect = w.weight(k) / w.total();
-            assert!(
-                (frac - expect).abs() < 0.01,
-                "{k:?}: {frac} vs {expect}"
-            );
+            assert!((frac - expect).abs() < 0.01, "{k:?}: {frac} vs {expect}");
         }
     }
 

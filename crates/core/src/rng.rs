@@ -55,7 +55,9 @@ impl Xoshiro256 {
     #[must_use]
     pub fn split(&self, index: u64) -> Self {
         // Use the current state words as the master entropy.
-        let master = self.s[0] ^ self.s[1].rotate_left(17) ^ self.s[2].rotate_left(34)
+        let master = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(34)
             ^ self.s[3].rotate_left(51);
         Self::new(derive_seed(master, index))
     }

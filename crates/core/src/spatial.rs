@@ -146,9 +146,13 @@ mod tests {
         let mut circles = Vec::new();
         let mut seed = 1u64;
         for i in 0..100usize {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let x = ((seed >> 16) % 200) as f64;
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let y = ((seed >> 16) % 200) as f64;
             let c = Circle::new(x, y, 5.0);
             g.insert(i, &c);

@@ -69,11 +69,8 @@ impl TileWorkspace {
         let margin = model.interaction_margin();
         let mut entries = Vec::new();
         let mut eligible = Vec::new();
-        let mut spatial = SpatialGrid::new(
-            model.params.width,
-            model.params.height,
-            2.0 * model.r_max(),
-        );
+        let mut spatial =
+            SpatialGrid::new(model.params.width, model.params.height, 2.0 * model.r_max());
         for (i, &c) in master.circles().iter().enumerate() {
             if rect.contains_point(c.x, c.y) {
                 let ok = rect.contains_circle(&c, margin);
@@ -187,11 +184,12 @@ impl TileWorkspace {
         // within interaction reach can contribute a non-zero lens term).
         let mut d_overlap = 0.0;
         let reach_new = candidate.r + model.r_max();
-        self.spatial.for_neighbors(candidate.x, candidate.y, reach_new, |j| {
-            if j != ei {
-                d_overlap += candidate.intersection_area(&self.entries[j].circle);
-            }
-        });
+        self.spatial
+            .for_neighbors(candidate.x, candidate.y, reach_new, |j| {
+                if j != ei {
+                    d_overlap += candidate.intersection_area(&self.entries[j].circle);
+                }
+            });
         let reach_old = old.r + model.r_max();
         self.spatial.for_neighbors(old.x, old.y, reach_old, |j| {
             if j != ei {
@@ -204,8 +202,8 @@ impl TileWorkspace {
         let d_add = self.coverage.add_circle(&candidate, gain);
         let d_log_lik = d_rem + d_add;
 
-        let d_radius = model.params.radius_prior.logpdf(candidate.r)
-            - model.params.radius_prior.logpdf(old.r);
+        let d_radius =
+            model.params.radius_prior.logpdf(candidate.r) - model.params.radius_prior.logpdf(old.r);
 
         let log_alpha = d_log_lik + d_radius - model.params.overlap_gamma * d_overlap;
         let accept = log_alpha >= 0.0 || rng.gen::<f64>().ln() < log_alpha;
@@ -392,8 +390,8 @@ mod tests {
         let master = Configuration::from_circles(
             &model,
             &[
-                Circle::new(32.0, 32.0, 7.0),  // eligible
-                Circle::new(40.0, 32.0, 7.0),  // also in tile
+                Circle::new(32.0, 32.0, 7.0), // eligible
+                Circle::new(40.0, 32.0, 7.0), // also in tile
             ],
         );
         let tile = Rect::new(0, 0, 64, 64);

@@ -33,12 +33,12 @@ fn count_marginal_is_poisson_under_flat_likelihood() {
     // Chi-square-style check over the bulk of the distribution.
     let mut chi2 = 0.0;
     let mut dof = 0;
-    for k in 0..15usize {
+    for (k, &obs) in hist.iter().enumerate().take(15) {
         let expect = poisson_logpmf(k, lambda).exp() * n as f64;
         if expect < 50.0 {
             continue;
         }
-        let obs = hist[k] as f64;
+        let obs = obs as f64;
         chi2 += (obs - expect) * (obs - expect) / expect;
         dof += 1;
     }
@@ -141,10 +141,21 @@ fn posterior_concentrates_on_planted_configuration() {
             n += 1;
         }
     }
-    assert!(collector.count.probability(1) > 0.95, "count posterior not concentrated");
+    assert!(
+        collector.count.probability(1) > 0.95,
+        "count posterior not concentrated"
+    );
     assert!(n > 0);
-    assert!(pos_err / (n as f64) < 0.5, "mean position error {}", pos_err / n as f64);
-    assert!(rad_err / (n as f64) < 0.5, "mean radius error {}", rad_err / n as f64);
+    assert!(
+        pos_err / (n as f64) < 0.5,
+        "mean position error {}",
+        pos_err / n as f64
+    );
+    assert!(
+        rad_err / (n as f64) < 0.5,
+        "mean radius error {}",
+        rad_err / n as f64
+    );
     // The occupancy map is hot at the circle and cold far away.
     let map = collector.occupancy_map();
     assert!(map.get(15, 15) > 0.9); // cell (15,15)*2 ≈ (31,31): inside

@@ -72,6 +72,7 @@ impl ColorImage {
 /// soft-edged stained disks, plus per-channel Gaussian noise. Companion to
 /// [`crate::synth::Scene::render`], which renders intensity directly.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // scene description: all eight knobs are orthogonal
 pub fn render_stained(
     width: u32,
     height: u32,
@@ -111,8 +112,7 @@ pub fn render_stained(
     if noise_sd > 0.0 {
         for px in &mut img.data {
             for ch in px.iter_mut() {
-                *ch = (*ch + noise_sd * crate::synth::standard_normal(rng) as f32)
-                    .clamp(0.0, 1.0);
+                *ch = (*ch + noise_sd * crate::synth::standard_normal(rng) as f32).clamp(0.0, 1.0);
             }
         }
     }

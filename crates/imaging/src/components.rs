@@ -87,7 +87,12 @@ pub fn label_components(mask: &Mask) -> Labeling {
         let mut comp = Component {
             label,
             pixel_count: 0,
-            bbox: Rect::new(i64::from(sx), i64::from(sy), i64::from(sx) + 1, i64::from(sy) + 1),
+            bbox: Rect::new(
+                i64::from(sx),
+                i64::from(sy),
+                i64::from(sx) + 1,
+                i64::from(sy) + 1,
+            ),
             sum_x: 0,
             sum_y: 0,
         };

@@ -518,7 +518,13 @@ mod tests {
         let g = PartitionGrid::new(37, 23, 11, 5);
         let (w, h) = (128u32, 96u32);
         let tiles = g.tiles(w, h);
-        for &(x, y) in &[(0.0, 0.0), (10.9, 4.9), (11.0, 5.0), (127.9, 95.9), (64.0, 48.0)] {
+        for &(x, y) in &[
+            (0.0, 0.0),
+            (10.9, 4.9),
+            (11.0, 5.0),
+            (127.9, 95.9),
+            (64.0, 48.0),
+        ] {
             let idx = g.tile_of(x, y, w, h).expect("inside image");
             assert!(
                 tiles[idx].contains_point(x, y),

@@ -202,8 +202,9 @@ pub fn load_pgm(path: impl AsRef<Path>) -> io::Result<GrayImage> {
                 .take(n)
                 .map(|t| t.parse::<f32>().map(|v| v / maxval))
                 .collect();
-            let vals = vals
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad pixel: {e}")))?;
+            let vals = vals.map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad pixel: {e}"))
+            })?;
             if vals.len() != n {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,

@@ -124,7 +124,10 @@ impl Scene {
         let mut img = GrayImage::filled(self.width, self.height, self.bg);
         let frame = img.frame();
         for c in &self.circles {
-            for (x, y) in c.bounding_box(self.edge_softness + 1.0).pixels_clipped(&frame) {
+            for (x, y) in c
+                .bounding_box(self.edge_softness + 1.0)
+                .pixels_clipped(&frame)
+            {
                 let dx = x as f64 + 0.5 - c.x;
                 let dy = y as f64 + 0.5 - c.y;
                 let d = (dx * dx + dy * dy).sqrt();
@@ -237,11 +240,7 @@ pub fn generate(spec: &SceneSpec, rng: &mut impl Rng) -> Scene {
 /// where clumping plus inter-cluster empty corridors make intelligent
 /// partitioning applicable.
 #[must_use]
-pub fn generate_clustered(
-    spec: &SceneSpec,
-    clusters: &[ClusterSpec],
-    rng: &mut impl Rng,
-) -> Scene {
+pub fn generate_clustered(spec: &SceneSpec, clusters: &[ClusterSpec], rng: &mut impl Rng) -> Scene {
     let mut circles: Vec<Circle> = Vec::new();
     for cl in clusters {
         let mut placed = 0usize;

@@ -10,7 +10,9 @@ fn arb_image(max_side: u32) -> impl Strategy<Value = GrayImage> {
     (2..max_side, 2..max_side, any::<u64>()).prop_map(|(w, h, seed)| {
         let mut s = seed;
         GrayImage::from_fn(w, h, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f32) / (u32::MAX as f32)
         })
     })

@@ -118,7 +118,9 @@ pub fn run_blind(
         .enumerate()
         .map(|(i, &ext)| {
             let weight = ext.area() as f64;
-            let task = move || run_partition_chain(img, ext, base, &opts.chain, derive_seed(seed, i as u64));
+            let task = move || {
+                run_partition_chain(img, ext, base, &opts.chain, derive_seed(seed, i as u64))
+            };
             (weight, task)
         })
         .collect();
@@ -278,9 +280,11 @@ mod tests {
         let mut rng = Xoshiro256::new(seed);
         let mut scene = generate(&spec, &mut rng);
         // Keep generated circles away from the planted boundary ones.
-        scene
-            .circles
-            .retain(|c| circles.iter().all(|b| c.centre_distance(b) > 2.5 * (c.r + b.r)));
+        scene.circles.retain(|c| {
+            circles
+                .iter()
+                .all(|b| c.centre_distance(b) > 2.5 * (c.r + b.r))
+        });
         circles.extend(scene.circles.iter().copied());
         scene.circles = circles.clone();
         let img = scene.render(&mut rng);
@@ -340,10 +344,7 @@ mod tests {
         // No two merged circles from different partitions sit within eps.
         for (i, a) in res.merged.iter().enumerate() {
             for b in res.merged.iter().skip(i + 1) {
-                assert!(
-                    a.centre_distance(b) > 1.0,
-                    "coincident circles after merge"
-                );
+                assert!(a.centre_distance(b) > 1.0, "coincident circles after merge");
             }
         }
     }

@@ -1,0 +1,758 @@
+//! The unified strategy engine: every parallelisation scheme of the paper
+//! behind one `RunRequest → RunReport` API.
+//!
+//! The paper's entire argument is a *comparison* of parallelisation
+//! schemes on the same RJMCMC workload; this module is the comparison
+//! harness. Each scheme implements [`Strategy`], takes the same
+//! [`RunRequest`] (image, model parameters, shared worker pool, seed,
+//! iteration budget) and produces the same [`RunReport`] (final
+//! [`Configuration`], per-phase timings, diagnostics and a statistical
+//! [`Validity`] tag), so benches, examples and tests can sweep schemes
+//! generically:
+//!
+//! ```
+//! use pmcmc_core::ModelParams;
+//! use pmcmc_imaging::GrayImage;
+//! use pmcmc_parallel::engine::{registry, by_name, RunRequest};
+//! use pmcmc_runtime::WorkerPool;
+//!
+//! let image = GrayImage::filled(64, 64, 0.1);
+//! let params = ModelParams::new(64, 64, 2.0, 8.0);
+//! let pool = WorkerPool::new(2);
+//! let req = RunRequest::new(&image, &params, &pool, 7).iterations(2_000);
+//!
+//! // Sweep everything…
+//! for strategy in registry() {
+//!     let report = strategy.run(&req);
+//!     println!("{}: {} circles", report.strategy, report.detected().len());
+//! }
+//! // …or pick one scheme by name.
+//! let periodic = by_name("periodic").expect("registered");
+//! assert!(periodic.run(&req).validity.is_exact());
+//! ```
+//!
+//! The scheme-specific entry points (`run_blind`, [`PeriodicSampler`], …)
+//! remain available for callers that need scheme-specific outputs; the
+//! strategy types here are thin adapters over them.
+
+use crate::blind::{run_blind, BlindOptions};
+use crate::intelligent::{run_intelligent, IntelligentPartitioner};
+use crate::mc3par::run_mc3_parallel;
+use crate::naive::{run_naive, NaiveOptions};
+use crate::periodic::{PeriodicOptions, PeriodicSampler};
+use crate::speculative::SpeculativeSampler;
+use crate::subchain::SubChainOptions;
+use pmcmc_core::{Configuration, Mc3, ModelParams, NucleiModel, Sampler};
+use pmcmc_imaging::{Circle, GrayImage};
+use pmcmc_runtime::WorkerPool;
+use std::time::{Duration, Instant};
+
+/// Statistical validity of a scheme, as classified by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validity {
+    /// Samples the exact posterior (sequential, periodic, speculative,
+    /// (MC)³).
+    Exact,
+    /// Approximates the posterior with a principled heuristic
+    /// (intelligent/blind partitioning).
+    Heuristic,
+    /// Known-broken baseline kept for comparison (naive partitioning).
+    Broken,
+}
+
+impl Validity {
+    /// Whether the scheme samples the exact posterior.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        self == Validity::Exact
+    }
+
+    /// Short lower-case label for tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Validity::Exact => "exact",
+            Validity::Heuristic => "heuristic",
+            Validity::Broken => "broken",
+        }
+    }
+}
+
+/// Everything a strategy needs to run: the shared workload description.
+#[derive(Clone, Copy)]
+pub struct RunRequest<'a> {
+    /// The input intensity image.
+    pub image: &'a GrayImage,
+    /// Model parameters for the full image (schemes derive per-partition
+    /// parameters themselves).
+    pub params: &'a ModelParams,
+    /// The worker pool shared by every strategy in a sweep.
+    pub pool: &'a WorkerPool,
+    /// Master seed; schemes derive their internal streams from it.
+    pub seed: u64,
+    /// Iteration budget. Exact single-chain schemes run this many chain
+    /// iterations; (MC)³ gives this budget to every coupled chain;
+    /// partition schemes use it as the per-partition convergence cap.
+    pub iterations: u64,
+}
+
+impl<'a> RunRequest<'a> {
+    /// Creates a request with the default iteration budget (60 000).
+    #[must_use]
+    pub fn new(
+        image: &'a GrayImage,
+        params: &'a ModelParams,
+        pool: &'a WorkerPool,
+        seed: u64,
+    ) -> Self {
+        Self {
+            image,
+            params,
+            pool,
+            seed,
+            iterations: 60_000,
+        }
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Builds the full-image model this request describes.
+    #[must_use]
+    pub fn model(&self) -> NucleiModel {
+        NucleiModel::new(self.image, self.params.clone())
+    }
+}
+
+/// One named phase of a run and the wall time spent in it.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Phase label (e.g. `"global"`, `"chains"`, `"merge"`).
+    pub phase: &'static str,
+    /// Wall time spent in the phase.
+    pub duration: Duration,
+}
+
+impl PhaseTiming {
+    fn new(phase: &'static str, duration: Duration) -> Self {
+        Self { phase, duration }
+    }
+}
+
+/// Run accounting beyond the final state: everything the bench tables
+/// report.
+#[derive(Debug, Clone, Default)]
+pub struct RunDiagnostics {
+    /// Number of partitions / tiles / chains the scheme fanned out over
+    /// (1 for purely sequential execution).
+    pub partitions: usize,
+    /// Overall move-acceptance rate, when the scheme tracks one.
+    pub acceptance_rate: Option<f64>,
+    /// Log-posterior of the final configuration under the full-image
+    /// model.
+    pub log_posterior: f64,
+    /// Free-form scheme-specific notes (convergence iterations, merge
+    /// counts, …).
+    pub notes: Vec<String>,
+}
+
+/// The shared result shape every strategy produces.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the strategy that produced this report.
+    pub strategy: String,
+    /// Statistical validity of the scheme.
+    pub validity: Validity,
+    /// Final chain state, expressed as a configuration over the
+    /// *full-image* model (partition schemes re-assemble it from their
+    /// merged detections).
+    pub config: Configuration,
+    /// Per-phase wall-time breakdown.
+    pub phases: Vec<PhaseTiming>,
+    /// End-to-end wall time.
+    pub total_time: Duration,
+    /// Iterations actually executed (summed over partitions/chains).
+    pub iterations: u64,
+    /// Scheme diagnostics.
+    pub diagnostics: RunDiagnostics,
+}
+
+impl RunReport {
+    /// Final detections in global coordinates (the circles of
+    /// [`RunReport::config`]).
+    #[must_use]
+    pub fn detected(&self) -> &[Circle] {
+        self.config.circles()
+    }
+
+    /// Wall time of one named phase, if the scheme reported it.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|p| p.phase == name)
+            .map(|p| p.duration)
+    }
+
+    /// Assembles a report around a final configuration. `model` must be
+    /// the full-image model of the request (adapters pass the one they
+    /// already built rather than paying a second O(width·height) gain
+    /// construction).
+    fn finish(
+        strategy: &str,
+        validity: Validity,
+        model: &NucleiModel,
+        config: Configuration,
+        total_time: Duration,
+        iterations: u64,
+    ) -> Self {
+        let log_posterior = config.log_posterior(model);
+        Self {
+            strategy: strategy.to_owned(),
+            validity,
+            config,
+            phases: Vec::new(),
+            total_time,
+            iterations,
+            diagnostics: RunDiagnostics {
+                partitions: 1,
+                acceptance_rate: None,
+                log_posterior,
+                notes: Vec::new(),
+            },
+        }
+    }
+}
+
+/// A parallelisation scheme runnable through the unified engine.
+pub trait Strategy: Send + Sync {
+    /// The registry name of the scheme (`"periodic"`, `"blind"`, …).
+    fn name(&self) -> &str;
+
+    /// The paper's statistical-validity classification of the scheme.
+    fn validity(&self) -> Validity;
+
+    /// Runs the scheme on the request's workload.
+    fn run(&self, req: &RunRequest<'_>) -> RunReport;
+}
+
+impl dyn Strategy {
+    /// Looks a scheme up by registry name — `<dyn Strategy>::by_name`,
+    /// equivalent to the free function [`by_name`].
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Box<dyn Strategy>> {
+        by_name(name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+
+/// The sequential RJMCMC baseline, registered so sweeps always include the
+/// reference every parallel scheme is judged against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialStrategy;
+
+impl Strategy for SequentialStrategy {
+    fn name(&self) -> &str {
+        "sequential"
+    }
+
+    fn validity(&self) -> Validity {
+        Validity::Exact
+    }
+
+    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+        let model = req.model();
+        let start = Instant::now();
+        // Random initial configuration (§III), matching the start state of
+        // every other engine strategy so sweeps compare schemes, not
+        // initializations.
+        let mut sampler = Sampler::new(&model, req.seed);
+        sampler.run(req.iterations);
+        let total = start.elapsed();
+        let acceptance = sampler.stats.acceptance_rate();
+        let mut report = RunReport::finish(
+            self.name(),
+            self.validity(),
+            &model,
+            sampler.config,
+            total,
+            req.iterations,
+        );
+        report.phases = vec![PhaseTiming::new("chain", total)];
+        report.diagnostics.acceptance_rate = Some(acceptance);
+        report
+    }
+}
+
+/// Periodic partitioning (§V) through the engine; runs its local phases on
+/// the request's shared pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeriodicStrategy {
+    /// Scheme options; `threads` is overridden by the request's pool size.
+    pub options: PeriodicOptions,
+}
+
+impl Strategy for PeriodicStrategy {
+    fn name(&self) -> &str {
+        "periodic"
+    }
+
+    fn validity(&self) -> Validity {
+        Validity::Exact
+    }
+
+    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+        let model = req.model();
+        let start = Instant::now();
+        let mut sampler = PeriodicSampler::with_pool(&model, req.seed, self.options, req.pool);
+        let periodic_report = sampler.run(req.iterations);
+        let total = start.elapsed();
+        let stats = sampler.merged_stats();
+        let mut report = RunReport::finish(
+            self.name(),
+            self.validity(),
+            &model,
+            sampler.master.config,
+            total,
+            periodic_report.total_iters(),
+        );
+        report.phases = vec![
+            PhaseTiming::new("global", periodic_report.global_time),
+            PhaseTiming::new("local", periodic_report.local_time),
+            PhaseTiming::new("overhead", periodic_report.overhead_time),
+        ];
+        report.diagnostics.partitions = periodic_report.max_tiles.max(1);
+        report.diagnostics.acceptance_rate = Some(stats.acceptance_rate());
+        report
+            .diagnostics
+            .notes
+            .push(format!("cycles={}", periodic_report.cycles));
+        report
+    }
+}
+
+/// Speculative moves through the engine. The spin team is sized by
+/// `lanes` (0 = use the request pool's thread count, capped at 8 — beyond
+/// that the eq. (3) returns diminish on commodity SMP).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeculativeStrategy {
+    /// Speculative lanes; 0 derives the count from the request's pool.
+    pub lanes: usize,
+}
+
+impl Strategy for SpeculativeStrategy {
+    fn name(&self) -> &str {
+        "speculative"
+    }
+
+    fn validity(&self) -> Validity {
+        Validity::Exact
+    }
+
+    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+        let lanes = if self.lanes == 0 {
+            req.pool.threads().clamp(1, 8)
+        } else {
+            self.lanes
+        };
+        let model = req.model();
+        let start = Instant::now();
+        let mut sampler = SpeculativeSampler::new(&model, req.seed, lanes);
+        sampler.run(req.iterations);
+        let total = start.elapsed();
+        let acceptance = sampler.stats.acceptance_rate();
+        let iterations = sampler.iterations();
+        let rounds = sampler.rounds();
+        let mut report = RunReport::finish(
+            self.name(),
+            self.validity(),
+            &model,
+            sampler.config,
+            total,
+            iterations,
+        );
+        report.phases = vec![PhaseTiming::new("rounds", total)];
+        report.diagnostics.partitions = lanes;
+        report.diagnostics.acceptance_rate = Some(acceptance);
+        report.diagnostics.notes.push(format!("rounds={rounds}"));
+        report
+    }
+}
+
+/// Metropolis-coupled MCMC (§IV) through the engine; chain segments fan
+/// out onto the request's shared pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Mc3Strategy {
+    /// Number of coupled chains (including the cold one).
+    pub chains: usize,
+    /// Temperature spacing (heat increment per chain).
+    pub heat: f64,
+    /// Iterations between swap attempts.
+    pub segment_len: u64,
+}
+
+impl Default for Mc3Strategy {
+    fn default() -> Self {
+        Self {
+            chains: 3,
+            heat: 0.4,
+            segment_len: 500,
+        }
+    }
+}
+
+impl Strategy for Mc3Strategy {
+    fn name(&self) -> &str {
+        "mc3"
+    }
+
+    fn validity(&self) -> Validity {
+        Validity::Exact
+    }
+
+    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+        let model = req.model();
+        let segment_len = self.segment_len.max(1);
+        let segments = (req.iterations / segment_len).max(1);
+        let start = Instant::now();
+        let mut mc3 = Mc3::new(&model, self.chains.max(2), self.heat, req.seed);
+        let mc3_report = run_mc3_parallel(&mut mc3, req.pool, segments, segment_len);
+        let total = start.elapsed();
+        let cold = mc3.cold();
+        let mut report = RunReport::finish(
+            self.name(),
+            self.validity(),
+            &model,
+            cold.config.clone(),
+            total,
+            mc3_report.iters_per_chain * self.chains.max(2) as u64,
+        );
+        report.phases = vec![PhaseTiming::new("segments", mc3_report.total_time)];
+        report.diagnostics.partitions = self.chains.max(2);
+        report.diagnostics.acceptance_rate = Some(cold.stats.acceptance_rate());
+        report.diagnostics.notes.push(format!(
+            "swaps={}/{}",
+            mc3.swap_stats.accepted, mc3.swap_stats.attempted
+        ));
+        report
+    }
+}
+
+/// Intelligent partitioning (§VIII) through the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntelligentStrategy {
+    /// The guillotine pre-processor.
+    pub partitioner: IntelligentPartitioner,
+    /// Per-partition chain options; `max_iters` is overridden by the
+    /// request's iteration budget.
+    pub chain: SubChainOptions,
+}
+
+impl Strategy for IntelligentStrategy {
+    fn name(&self) -> &str {
+        "intelligent"
+    }
+
+    fn validity(&self) -> Validity {
+        Validity::Heuristic
+    }
+
+    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+        let opts = SubChainOptions {
+            max_iters: req.iterations,
+            ..self.chain
+        };
+        let start = Instant::now();
+        let result = run_intelligent(
+            req.image,
+            req.params,
+            &self.partitioner,
+            &opts,
+            req.pool,
+            req.seed,
+        );
+        let total = start.elapsed();
+        let iterations = result.partitions.iter().map(|p| p.iterations).sum();
+        let model = req.model();
+        let mut report = RunReport::finish(
+            self.name(),
+            self.validity(),
+            &model,
+            Configuration::from_circles(&model, &result.merged),
+            total,
+            iterations,
+        );
+        report.phases = vec![
+            PhaseTiming::new("preprocess", result.preprocess_time),
+            PhaseTiming::new("chains", result.chains_time),
+        ];
+        report.diagnostics.partitions = result.partitions.len();
+        for p in &result.partitions {
+            report.diagnostics.notes.push(format!(
+                "partition {:?}: eq5={:.1}, converged_at={:?}",
+                p.rect, p.expected_count, p.converged_at
+            ));
+        }
+        report
+    }
+}
+
+/// Blind partitioning (§VIII/§IX) through the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlindStrategy {
+    /// Scheme options; the chain's `max_iters` is overridden by the
+    /// request's iteration budget.
+    pub options: BlindOptions,
+}
+
+impl Strategy for BlindStrategy {
+    fn name(&self) -> &str {
+        "blind"
+    }
+
+    fn validity(&self) -> Validity {
+        Validity::Heuristic
+    }
+
+    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+        let opts = BlindOptions {
+            chain: SubChainOptions {
+                max_iters: req.iterations,
+                ..self.options.chain
+            },
+            ..self.options
+        };
+        let start = Instant::now();
+        let result = run_blind(req.image, req.params, &opts, req.pool, req.seed);
+        let total = start.elapsed();
+        let iterations = result.partitions.iter().map(|p| p.chain.iterations).sum();
+        let model = req.model();
+        let mut report = RunReport::finish(
+            self.name(),
+            self.validity(),
+            &model,
+            Configuration::from_circles(&model, &result.merged),
+            total,
+            iterations,
+        );
+        report.phases = vec![
+            PhaseTiming::new("chains", result.chains_time),
+            PhaseTiming::new("merge", result.merge_time),
+        ];
+        report.diagnostics.partitions = result.partitions.len();
+        report.diagnostics.notes.push(format!(
+            "merged_pairs={}, disputed={}",
+            result.merged_pairs, result.disputed
+        ));
+        report
+    }
+}
+
+/// The naive divide-and-conquer baseline (anti-pattern, §II) through the
+/// engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveStrategy {
+    /// Scheme options; the chain's `max_iters` is overridden by the
+    /// request's iteration budget.
+    pub options: NaiveOptions,
+}
+
+impl Strategy for NaiveStrategy {
+    fn name(&self) -> &str {
+        "naive"
+    }
+
+    fn validity(&self) -> Validity {
+        Validity::Broken
+    }
+
+    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+        let opts = NaiveOptions {
+            chain: SubChainOptions {
+                max_iters: req.iterations,
+                ..self.options.chain
+            },
+            ..self.options
+        };
+        let start = Instant::now();
+        let result = run_naive(req.image, req.params, &opts, req.pool, req.seed);
+        let total = start.elapsed();
+        let iterations = result.partitions.iter().map(|p| p.iterations).sum();
+        let model = req.model();
+        let mut report = RunReport::finish(
+            self.name(),
+            self.validity(),
+            &model,
+            Configuration::from_circles(&model, &result.merged),
+            total,
+            iterations,
+        );
+        report.phases = vec![PhaseTiming::new("chains", result.chains_time)];
+        report.diagnostics.partitions = result.partitions.len();
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+/// Names of every registered strategy, in canonical sweep order
+/// (reference first, exact schemes, then heuristics, then the broken
+/// baseline).
+pub const STRATEGY_NAMES: [&str; 7] = [
+    "sequential",
+    "periodic",
+    "speculative",
+    "mc3",
+    "intelligent",
+    "blind",
+    "naive",
+];
+
+/// Builds every registered strategy with default options, in
+/// [`STRATEGY_NAMES`] order.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Strategy>> {
+    STRATEGY_NAMES
+        .iter()
+        .map(|n| by_name(n).expect("registry name resolves"))
+        .collect()
+}
+
+/// Builds the strategy registered under `name` (with default options).
+/// Accepts the historical module name `mc3par` as an alias for `mc3`.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Box<dyn Strategy>> {
+    match name {
+        "sequential" => Some(Box::new(SequentialStrategy)),
+        "periodic" => Some(Box::new(PeriodicStrategy::default())),
+        "speculative" => Some(Box::new(SpeculativeStrategy::default())),
+        "mc3" | "mc3par" => Some(Box::new(Mc3Strategy::default())),
+        "intelligent" => Some(Box::new(IntelligentStrategy::default())),
+        "blind" => Some(Box::new(BlindStrategy::default())),
+        "naive" => Some(Box::new(NaiveStrategy::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcmc_core::Xoshiro256;
+    use pmcmc_imaging::synth::{generate, SceneSpec};
+
+    fn small_workload() -> (GrayImage, ModelParams) {
+        let spec = SceneSpec {
+            width: 96,
+            height: 96,
+            n_circles: 5,
+            radius_mean: 8.0,
+            radius_sd: 0.8,
+            radius_min: 5.0,
+            radius_max: 12.0,
+            noise_sd: 0.05,
+            ..SceneSpec::default()
+        };
+        let mut rng = Xoshiro256::new(3);
+        let scene = generate(&spec, &mut rng);
+        let img = scene.render(&mut rng);
+        let mut params = ModelParams::new(96, 96, 5.0, 8.0);
+        params.noise_sd = 0.15;
+        (img, params)
+    }
+
+    #[test]
+    fn registry_contains_all_schemes_resolvable_by_name() {
+        let names: Vec<String> = registry().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(names, STRATEGY_NAMES);
+        for name in STRATEGY_NAMES {
+            let s = by_name(name).expect("every published name resolves");
+            assert_eq!(s.name(), name);
+        }
+        assert!(by_name("mc3par").is_some(), "historical alias");
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn by_name_via_dyn_strategy_associated_fn() {
+        let s = <dyn Strategy>::by_name("periodic").unwrap();
+        assert_eq!(s.name(), "periodic");
+        assert!(s.validity().is_exact());
+    }
+
+    #[test]
+    fn validity_tags_match_the_paper() {
+        let tag = |n: &str| by_name(n).unwrap().validity();
+        assert_eq!(tag("sequential"), Validity::Exact);
+        assert_eq!(tag("periodic"), Validity::Exact);
+        assert_eq!(tag("speculative"), Validity::Exact);
+        assert_eq!(tag("mc3"), Validity::Exact);
+        assert_eq!(tag("intelligent"), Validity::Heuristic);
+        assert_eq!(tag("blind"), Validity::Heuristic);
+        assert_eq!(tag("naive"), Validity::Broken);
+    }
+
+    #[test]
+    fn every_strategy_produces_consistent_reports_on_shared_request() {
+        let (img, params) = small_workload();
+        let pool = WorkerPool::new(2);
+        let req = RunRequest::new(&img, &params, &pool, 11).iterations(3_000);
+        let model = req.model();
+        for strategy in registry() {
+            let report = strategy.run(&req);
+            assert_eq!(report.strategy, strategy.name());
+            assert_eq!(report.validity, strategy.validity());
+            assert!(
+                report.iterations > 0,
+                "{} ran no iterations",
+                report.strategy
+            );
+            assert!(report.total_time > Duration::ZERO);
+            assert!(report.diagnostics.partitions >= 1);
+            assert!(
+                report.diagnostics.log_posterior.is_finite(),
+                "{} log-posterior not finite",
+                report.strategy
+            );
+            report
+                .config
+                .verify_consistency(&model)
+                .unwrap_or_else(|e| panic!("{} inconsistent config: {e}", report.strategy));
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic_for_fixed_seed() {
+        let (img, params) = small_workload();
+        let pool = WorkerPool::new(3);
+        for name in ["periodic", "speculative", "blind"] {
+            let run = || {
+                let req = RunRequest::new(&img, &params, &pool, 21).iterations(2_000);
+                let report = by_name(name).unwrap().run(&req);
+                (report.detected().len(), report.diagnostics.log_posterior)
+            };
+            let (n1, lp1) = run();
+            let (n2, lp2) = run();
+            assert_eq!(n1, n2, "{name} count not deterministic");
+            assert!((lp1 - lp2).abs() < 1e-9, "{name}: {lp1} vs {lp2}");
+        }
+    }
+
+    #[test]
+    fn phase_lookup_finds_reported_phases() {
+        let (img, params) = small_workload();
+        let pool = WorkerPool::new(2);
+        let req = RunRequest::new(&img, &params, &pool, 5).iterations(1_500);
+        let report = by_name("periodic").unwrap().run(&req);
+        assert!(report.phase("global").is_some());
+        assert!(report.phase("local").is_some());
+        assert!(report.phase("overhead").is_some());
+        assert!(report.phase("nonexistent").is_none());
+    }
+}

@@ -162,7 +162,8 @@ pub fn run_intelligent(
         .enumerate()
         .map(|(i, &rect)| {
             let weight = mask.count_ones_in(&rect) as f64 + 1.0;
-            let task = move || run_partition_chain(img, rect, base, opts, derive_seed(seed, i as u64));
+            let task =
+                move || run_partition_chain(img, rect, base, opts, derive_seed(seed, i as u64));
             (weight, task)
         })
         .collect();
@@ -200,9 +201,24 @@ mod tests {
             ..SceneSpec::default()
         };
         let clusters = [
-            ClusterSpec { cx: 70.0, cy: 80.0, n: 5, spread: 22.0 },
-            ClusterSpec { cx: 260.0, cy: 140.0, n: 12, spread: 45.0 },
-            ClusterSpec { cx: 100.0, cy: 320.0, n: 3, spread: 15.0 },
+            ClusterSpec {
+                cx: 70.0,
+                cy: 80.0,
+                n: 5,
+                spread: 22.0,
+            },
+            ClusterSpec {
+                cx: 260.0,
+                cy: 140.0,
+                n: 12,
+                spread: 45.0,
+            },
+            ClusterSpec {
+                cx: 100.0,
+                cy: 320.0,
+                n: 3,
+                spread: 15.0,
+            },
         ];
         let mut rng = Xoshiro256::new(seed);
         let scene = generate_clustered(&spec, &clusters, &mut rng);

@@ -18,10 +18,17 @@
 //!   convergence detection).
 //! * [`theory`] — the runtime models of §VI (eqs. 2–4, Fig. 1).
 //! * [`report`] — table rendering for the bench harnesses.
+//!
+//! All of the schemes are additionally exposed through the unified
+//! [`engine`] layer: a [`engine::Strategy`] trait with a string-keyed
+//! registry ([`engine::by_name`]) and a shared
+//! [`engine::RunRequest`] → [`engine::RunReport`] shape, so benches,
+//! examples and tests can sweep every scheme through one API.
 
 #![warn(missing_docs)]
 
 pub mod blind;
+pub mod engine;
 pub mod intelligent;
 pub mod mc3par;
 pub mod naive;
@@ -32,6 +39,11 @@ pub mod subchain;
 pub mod theory;
 
 pub use blind::{run_blind, BlindOptions, BlindResult, DisputePolicy};
+pub use engine::{
+    by_name, registry, BlindStrategy, IntelligentStrategy, Mc3Strategy, NaiveStrategy,
+    PeriodicStrategy, PhaseTiming, RunDiagnostics, RunReport, RunRequest, SequentialStrategy,
+    SpeculativeStrategy, Strategy, Validity, STRATEGY_NAMES,
+};
 pub use intelligent::{run_intelligent, IntelligentPartitioner, IntelligentResult};
 pub use mc3par::{run_mc3_parallel, Mc3Report};
 pub use naive::{run_naive, NaiveOptions, NaivePrior, NaiveResult};

@@ -154,9 +154,11 @@ mod tests {
         };
         let mut rng = Xoshiro256::new(seed);
         let mut scene = generate(&spec, &mut rng);
-        scene
-            .circles
-            .retain(|c| circles.iter().all(|b| c.centre_distance(b) > 2.5 * (c.r + b.r)));
+        scene.circles.retain(|c| {
+            circles
+                .iter()
+                .all(|b| c.centre_distance(b) > 2.5 * (c.r + b.r))
+        });
         circles.extend(scene.circles.iter().copied());
         scene.circles = circles.clone();
         let img = scene.render(&mut rng);

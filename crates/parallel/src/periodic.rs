@@ -15,9 +15,7 @@
 
 use pmcmc_core::diagnostics::AcceptanceStats;
 use pmcmc_core::rng::derive_seed;
-use pmcmc_core::{
-    Configuration, MoveWeights, NucleiModel, Sampler, TileWorkspace, Xoshiro256,
-};
+use pmcmc_core::{Configuration, MoveWeights, NucleiModel, Sampler, TileWorkspace, Xoshiro256};
 use pmcmc_imaging::{PartitionGrid, Rect};
 use pmcmc_runtime::WorkerPool;
 use rand::Rng;
@@ -45,12 +43,7 @@ impl PartitionScheme {
             PartitionScheme::Grid { xm, ym } => (xm, ym),
             PartitionScheme::Corner => (i64::from(width), i64::from(height)),
         };
-        PartitionGrid::new(
-            xm,
-            ym,
-            rng.gen_range(0..xm),
-            rng.gen_range(0..ym),
-        )
+        PartitionGrid::new(xm, ym, rng.gen_range(0..xm), rng.gen_range(0..ym))
     }
 }
 
@@ -98,6 +91,9 @@ pub struct PeriodicReport {
     pub overhead_time: Duration,
     /// Total wall time of the run.
     pub total_time: Duration,
+    /// Largest number of tiles any single `Ml` phase fanned out over
+    /// (tile counts vary per phase with the random grid offset).
+    pub max_tiles: usize,
 }
 
 impl PeriodicReport {
@@ -105,6 +101,25 @@ impl PeriodicReport {
     #[must_use]
     pub fn total_iters(&self) -> u64 {
         self.global_iters + self.local_iters
+    }
+}
+
+/// The worker pool a [`PeriodicSampler`] runs its local phases on: either
+/// its own (the historical behaviour of [`PeriodicSampler::new`]) or one
+/// shared with other samplers through the engine layer
+/// ([`PeriodicSampler::with_pool`]).
+enum PoolHandle<'p> {
+    Owned(WorkerPool),
+    Shared(&'p WorkerPool),
+}
+
+impl std::ops::Deref for PoolHandle<'_> {
+    type Target = WorkerPool;
+    fn deref(&self) -> &WorkerPool {
+        match self {
+            PoolHandle::Owned(p) => p,
+            PoolHandle::Shared(p) => p,
+        }
     }
 }
 
@@ -116,7 +131,7 @@ pub struct PeriodicSampler<'m> {
     pub master: Sampler<'m>,
     weights: MoveWeights,
     options: PeriodicOptions,
-    pool: WorkerPool,
+    pool: PoolHandle<'m>,
     spec_engine: Option<crate::speculative::SpeculativeEngine>,
     /// Merged acceptance statistics over global and local phases.
     pub stats: AcceptanceStats,
@@ -125,7 +140,8 @@ pub struct PeriodicSampler<'m> {
 }
 
 impl<'m> PeriodicSampler<'m> {
-    /// Creates the sampler with a random initial configuration.
+    /// Creates the sampler with a random initial configuration and its own
+    /// worker pool of `options.threads` workers.
     #[must_use]
     pub fn new(model: &'m NucleiModel, seed: u64, options: PeriodicOptions) -> Self {
         let master = Sampler::new(model, seed);
@@ -141,6 +157,32 @@ impl<'m> PeriodicSampler<'m> {
         seed: u64,
         options: PeriodicOptions,
     ) -> Self {
+        let pool = PoolHandle::Owned(WorkerPool::new(options.threads.max(1)));
+        Self::build(model, master, seed, options, pool)
+    }
+
+    /// Creates the sampler on a shared [`WorkerPool`] instead of spawning
+    /// its own; `options.threads` is ignored in favour of the pool's size.
+    /// This is what the [`crate::engine`] layer uses so every strategy in a
+    /// sweep runs on the same pool.
+    #[must_use]
+    pub fn with_pool(
+        model: &'m NucleiModel,
+        seed: u64,
+        options: PeriodicOptions,
+        pool: &'m WorkerPool,
+    ) -> Self {
+        let master = Sampler::new(model, seed);
+        Self::build(model, master, seed, options, PoolHandle::Shared(pool))
+    }
+
+    fn build(
+        model: &'m NucleiModel,
+        master: Sampler<'m>,
+        seed: u64,
+        options: PeriodicOptions,
+        pool: PoolHandle<'m>,
+    ) -> Self {
         let spec_engine = if options.speculative_global_lanes > 1 {
             Some(crate::speculative::SpeculativeEngine::new(
                 derive_seed(seed, 0xEC3),
@@ -154,7 +196,7 @@ impl<'m> PeriodicSampler<'m> {
             master,
             weights: MoveWeights::default(),
             options,
-            pool: WorkerPool::new(options.threads.max(1)),
+            pool,
             spec_engine,
             stats: AcceptanceStats::new(),
             seed,
@@ -227,6 +269,7 @@ impl<'m> PeriodicSampler<'m> {
         let (w, h) = (self.model.params.width, self.model.params.height);
         let grid = self.options.scheme.grid(w, h, &mut self.master.rng);
         let tiles: Vec<Rect> = grid.tiles(w, h);
+        report.max_tiles = report.max_tiles.max(tiles.len());
 
         // Build workspaces (the "duplicate" part of the §VII overhead).
         let t_ov = Instant::now();
@@ -314,10 +357,7 @@ pub fn largest_remainder_allocation(total: u64, weights: &[f64]) -> Vec<u64> {
     if sum <= 0.0 || weights.is_empty() {
         return vec![0; weights.len()];
     }
-    let exact: Vec<f64> = weights
-        .iter()
-        .map(|w| total as f64 * w / sum)
-        .collect();
+    let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
     let mut parts: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
     let assigned: u64 = parts.iter().sum();
     let mut remainders: Vec<(f64, usize)> = exact
@@ -364,10 +404,7 @@ mod tests {
         assert_eq!(parts.iter().sum::<u64>(), 100);
         assert!(parts[2] > parts[0]);
         assert_eq!(largest_remainder_allocation(7, &[0.0, 0.0]), vec![0, 0]);
-        assert_eq!(
-            largest_remainder_allocation(10, &[1.0]),
-            vec![10]
-        );
+        assert_eq!(largest_remainder_allocation(10, &[1.0]), vec![10]);
     }
 
     #[test]
@@ -435,10 +472,7 @@ mod tests {
         let run = |seed| {
             let mut ps = PeriodicSampler::new(&model, seed, opts);
             ps.run(2_000);
-            (
-                ps.config().len(),
-                ps.config().log_posterior(&model),
-            )
+            (ps.config().len(), ps.config().log_posterior(&model))
         };
         let (k1, lp1) = run(11);
         let (k2, lp2) = run(11);

@@ -209,12 +209,9 @@ impl<'m> SpeculativeSampler<'m> {
     /// Runs one speculative round; returns the number of iterations the
     /// chain consumed (1..=members).
     pub fn round(&mut self) -> u64 {
-        let consumed = self.engine.round(
-            &mut self.config,
-            self.model,
-            &self.weights,
-            &mut self.stats,
-        );
+        let consumed =
+            self.engine
+                .round(&mut self.config, self.model, &self.weights, &mut self.stats);
         self.iterations += consumed;
         consumed
     }

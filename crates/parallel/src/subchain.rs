@@ -199,7 +199,11 @@ mod tests {
             ..SubChainOptions::default()
         };
         let res = run_partition_chain(&img, rect, &base, &opts, 42);
-        assert!(res.expected_count > 1.0, "eq5 estimate {}", res.expected_count);
+        assert!(
+            res.expected_count > 1.0,
+            "eq5 estimate {}",
+            res.expected_count
+        );
         let local_truth: Vec<Circle> = truth
             .iter()
             .filter(|c| rect.contains_point(c.x, c.y))
@@ -229,7 +233,11 @@ mod tests {
         };
         let res = run_partition_chain(&img, Rect::new(0, 0, 64, 64), &base, &opts, 7);
         assert_eq!(res.thresholded_pixels, 0);
-        assert!(res.detected.is_empty(), "found {} phantoms", res.detected.len());
+        assert!(
+            res.detected.is_empty(),
+            "found {} phantoms",
+            res.detected.len()
+        );
         assert!(res.converged_at.is_some(), "empty image must converge");
     }
 

@@ -66,6 +66,7 @@ pub fn eq3_time(
 /// speculative local phases:
 /// `N·q_g·τ_g·(1−p_gr)/(1−p_grᵗ) + N·(1−q_g)·τ_l·(1−p_lr)/(s·(1−p_lrᵗ))`.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // mirrors the eq. (4) symbol list verbatim
 pub fn eq4_time(
     n_iters: f64,
     qg: f64,

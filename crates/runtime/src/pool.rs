@@ -51,16 +51,16 @@ impl WorkerPool {
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
             let rx = receiver.clone();
-            let tasks = Arc::clone(&tasks);
-            let busy = Arc::clone(&busy);
             let handle = std::thread::Builder::new()
                 .name(format!("pmcmc-worker-{i}"))
                 .spawn(move || {
+                    // Task/busy accounting happens inside the job itself
+                    // (see `run_batch`), *before* the job's result is sent:
+                    // accounting here, after `job()` returns, would race
+                    // with the batch owner reading `stats()` right after
+                    // `run_batch` unblocks.
                     while let Ok(job) = rx.recv() {
-                        let start = Instant::now();
                         job();
-                        busy.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        tasks.fetch_add(1, Ordering::Relaxed);
                     }
                 })
                 .expect("failed to spawn pool worker");
@@ -125,9 +125,17 @@ impl WorkerPool {
         for &i in &order {
             let f = slot_fns[i].take().expect("each task submitted once");
             let tx = result_tx.clone();
+            let task_ctr = Arc::clone(&self.tasks);
+            let busy_ctr = Arc::clone(&self.busy_nanos);
             // Build the job with its true (non-'static) lifetime first.
             let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+                let start = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(f));
+                // Account before sending the result: once the batch owner
+                // has collected every result, `stats()` must already
+                // reflect the whole batch.
+                busy_ctr.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                task_ctr.fetch_add(1, Ordering::Relaxed);
                 // The batch owner blocks on the receiver, so it is alive.
                 let _ = tx.send((i, outcome));
             });
@@ -143,8 +151,7 @@ impl WorkerPool {
         }
         drop(result_tx);
 
-        let mut results: Vec<Option<std::thread::Result<R>>> =
-            (0..n).map(|_| None).collect();
+        let mut results: Vec<Option<std::thread::Result<R>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (i, outcome) = result_rx.recv().expect("one result per task");
             results[i] = Some(outcome);
@@ -214,7 +221,10 @@ mod tests {
         let tasks: Vec<(f64, Box<dyn FnOnce() -> usize + Send>)> = (0..10usize)
             .map(|i| {
                 let w = ((i * 7 % 5) as f64) + 0.5;
-                (w, Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+                (
+                    w,
+                    Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>,
+                )
             })
             .collect();
         let out = pool.run_batch(tasks);
@@ -270,7 +280,10 @@ mod tests {
         let pool = WorkerPool::new(2);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run_batch(vec![
-                (1.0, Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>),
+                (
+                    1.0,
+                    Box::new(|| 1usize) as Box<dyn FnOnce() -> usize + Send>,
+                ),
                 (
                     1.0,
                     Box::new(|| -> usize { panic!("boom") }) as Box<dyn FnOnce() -> usize + Send>,

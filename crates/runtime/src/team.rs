@@ -98,8 +98,7 @@ impl SpinTeam {
         // i.e. until every helper has returned from the closure, before
         // clearing the slot and returning — so the reference never outlives
         // the closure it points to.
-        let erased: *const (dyn Fn(usize) + Sync) =
-            unsafe { std::mem::transmute(f_ref) };
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
         *self.shared.job.lock() = Some(SharedJob { ptr: erased });
         self.shared.completed.store(0, Ordering::Release);
         self.shared.generation.fetch_add(1, Ordering::Release);

@@ -30,7 +30,10 @@ fn pool_survives_many_heterogeneous_batches() {
         let out = pool.run_batch(tasks);
         assert_eq!(out.len(), n);
     }
-    assert_eq!(total.load(Ordering::Relaxed), (0..50u64).map(|r| r % 13 + 1).sum::<u64>());
+    assert_eq!(
+        total.load(Ordering::Relaxed),
+        (0..50u64).map(|r| r % 13 + 1).sum::<u64>()
+    );
     let stats = pool.stats();
     assert_eq!(stats.batches, 50);
 }

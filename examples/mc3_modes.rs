@@ -1,5 +1,6 @@
 //! Metropolis-coupled MCMC (§IV related work): heated chains help the cold
-//! chain escape local optima on an ambiguous scene.
+//! chain escape local optima on an ambiguous scene — compared against a
+//! single chain through the unified `Strategy` engine.
 //!
 //! The scene contains overlapping circle pairs — the paper's example of
 //! MCMC "identifying similar but distinct solutions (is an artifact in a
@@ -30,35 +31,42 @@ fn main() {
     let image = scene.render(&mut rng);
 
     let params = ModelParams::new(256, 256, 8.0, 8.0);
-    let model = NucleiModel::new(&image, params);
     let budget = 120_000u64;
+    let n_chains = 4usize;
+    let pool = WorkerPool::new(n_chains);
 
-    // Single cold chain.
-    let mut single = Sampler::new(&model, 21);
-    single.run(budget);
+    // Single cold chain: the full budget through the sequential strategy.
+    let seq_req = RunRequest::new(&image, &params, &pool, 21).iterations(budget);
+    let single = by_name("sequential").unwrap().run(&seq_req);
     println!(
         "single chain:   log-posterior {:.1}, {} circles, acceptance {:.1}%",
-        single.log_posterior(),
-        single.config.len(),
-        100.0 * single.stats.acceptance_rate()
+        single.diagnostics.log_posterior,
+        single.detected().len(),
+        100.0 * single.diagnostics.acceptance_rate.unwrap_or(0.0)
     );
 
-    // (MC)^3 with 4 chains sharing the same total budget.
-    let n_chains = 4;
-    let segments = 60;
-    let seg_len = budget / (n_chains as u64 * segments);
-    let mut mc3 = Mc3::new(&model, n_chains, 0.4, 21);
-    mc3.run(segments, seg_len);
+    // (MC)^3 with 4 chains sharing the same *total* budget: each chain
+    // gets budget / n_chains iterations, segments fan out on the pool.
+    let mc3 = Mc3Strategy {
+        chains: n_chains,
+        heat: 0.4,
+        segment_len: budget / (n_chains as u64 * 60),
+    };
+    let mc3_req = RunRequest::new(&image, &params, &pool, 21).iterations(budget / n_chains as u64);
+    let coupled = mc3.run(&mc3_req);
     println!(
-        "(MC)^3 cold:    log-posterior {:.1}, {} circles, swaps {}/{} accepted",
-        mc3.cold().log_posterior(),
-        mc3.cold().config.len(),
-        mc3.swap_stats.accepted,
-        mc3.swap_stats.attempted
+        "(MC)^3 cold:    log-posterior {:.1}, {} circles, {}",
+        coupled.diagnostics.log_posterior,
+        coupled.detected().len(),
+        coupled
+            .diagnostics
+            .notes
+            .first()
+            .map_or("no swaps attempted", String::as_str)
     );
 
-    let m_single = match_circles(&circles, single.config.circles(), 5.0);
-    let m_mc3 = match_circles(&circles, mc3.cold().config.circles(), 5.0);
+    let m_single = match_circles(&circles, single.detected(), 5.0);
+    let m_mc3 = match_circles(&circles, coupled.detected(), 5.0);
     println!(
         "F1 vs truth: single {:.2}, (MC)^3 {:.2} (truth has {} circles in {} blobs)",
         m_single.f1(),

@@ -26,9 +26,24 @@ fn main() {
         ..SceneSpec::default()
     };
     let clusters = [
-        ClusterSpec { cx: 70.0, cy: 80.0, n: 6, spread: 0.0 },
-        ClusterSpec { cx: 265.0, cy: 150.0, n: 14, spread: 0.0 },
-        ClusterSpec { cx: 95.0, cy: 320.0, n: 4, spread: 0.0 },
+        ClusterSpec {
+            cx: 70.0,
+            cy: 80.0,
+            n: 6,
+            spread: 0.0,
+        },
+        ClusterSpec {
+            cx: 265.0,
+            cy: 150.0,
+            n: 14,
+            spread: 0.0,
+        },
+        ClusterSpec {
+            cx: 95.0,
+            cy: 320.0,
+            n: 4,
+            spread: 0.0,
+        },
     ];
     let mut rng = Xoshiro256::new(314);
     let scene = generate_packed_clusters(&spec, &clusters, 1.12, &mut rng);
@@ -39,8 +54,12 @@ fn main() {
     let mut base = ModelParams::new(384, 384, truth.len() as f64, 8.0);
     // The beads' true radius range: keeps one over-sized circle from
     // explaining two touching beads.
-    base.radius_prior =
-        pmcmc::core::math::TruncatedNormal::new(spec.radius_mean, 0.5, spec.radius_min, spec.radius_max);
+    base.radius_prior = pmcmc::core::math::TruncatedNormal::new(
+        spec.radius_mean,
+        0.5,
+        spec.radius_min,
+        spec.radius_max,
+    );
     let pool = WorkerPool::new(4);
     let chain = SubChainOptions::default();
 

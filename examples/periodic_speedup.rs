@@ -1,11 +1,11 @@
 //! Periodic partitioning (§V) versus the sequential baseline: same
-//! iteration budget, measured wall time, plus the eq. (2) prediction.
+//! iteration budget, measured wall time, plus the eq. (2) prediction —
+//! both schemes driven through the unified `Strategy` engine.
 //!
 //! Run with: `cargo run --release --example periodic_speedup [iters]`
 
 use pmcmc::parallel::theory::eq2_fraction;
 use pmcmc::prelude::*;
-use std::time::Instant;
 
 fn main() {
     let iters: u64 = std::env::args()
@@ -29,45 +29,46 @@ fn main() {
     let scene = generate(&spec, &mut rng);
     let image = scene.render(&mut rng);
     let params = ModelParams::new(512, 512, 60.0, 10.0);
-    let model = NucleiModel::new(&image, params);
 
-    // Sequential baseline.
-    let t0 = Instant::now();
-    let mut seq = Sampler::new(&model, 5);
-    seq.run(iters);
-    let t_seq = t0.elapsed();
+    // Sequential baseline through the engine.
+    let baseline_pool = WorkerPool::new(1);
+    let seq_req = RunRequest::new(&image, &params, &baseline_pool, 5).iterations(iters);
+    let seq = by_name("sequential").unwrap().run(&seq_req);
+    let t_seq = seq.total_time;
     println!(
         "sequential: {iters} iterations in {:.2}s ({} circles)",
         t_seq.as_secs_f64(),
-        seq.config.len()
+        seq.detected().len()
     );
 
-    // Periodic partitioning with the §VII corner scheme on 4 threads.
+    // Periodic partitioning with the §VII corner scheme: same request
+    // shape, swept over pool sizes. The strategy adapter runs its local
+    // phases on the request's shared pool.
     for threads in [2usize, 4] {
-        let mut ps = PeriodicSampler::new(
-            &model,
-            5,
-            PeriodicOptions {
+        let pool = WorkerPool::new(threads);
+        let req = RunRequest::new(&image, &params, &pool, 5).iterations(iters);
+        let strategy = PeriodicStrategy {
+            options: PeriodicOptions {
                 global_phase_iters: 256,
                 scheme: PartitionScheme::Corner,
-                threads,
                 ..PeriodicOptions::default()
             },
-        );
-        let report = ps.run(iters);
+        };
+        let report = strategy.run(&req);
         let frac = report.total_time.as_secs_f64() / t_seq.as_secs_f64();
+        let phase = |name: &str| report.phase(name).map_or(0.0, |d| d.as_secs_f64());
         println!(
             "periodic ({threads} threads): {} iterations in {:.2}s → {:.0}% of sequential \
              (eq.2 ideal with s={threads}: {:.0}%) [global {:.2}s, local {:.2}s, overhead {:.2}s; \
              {} circles]",
-            report.total_iters(),
+            report.iterations,
             report.total_time.as_secs_f64(),
             100.0 * frac,
             100.0 * eq2_fraction(0.4, threads),
-            report.global_time.as_secs_f64(),
-            report.local_time.as_secs_f64(),
-            report.overhead_time.as_secs_f64(),
-            ps.config().len()
+            phase("global"),
+            phase("local"),
+            phase("overhead"),
+            report.detected().len()
         );
     }
 }

@@ -1,5 +1,6 @@
 //! Quickstart: detect circles in a synthetic cell image with the
-//! sequential RJMCMC sampler and score against ground truth.
+//! sequential RJMCMC sampler, score against ground truth, then run the
+//! same workload through the unified `Strategy` engine.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -66,4 +67,21 @@ fn main() {
             );
         }
     }
+
+    // 5. The same workload through the unified engine: any registered
+    //    scheme is one `by_name` away (see `examples/strategy_sweep.rs`
+    //    for the full registry sweep).
+    let pool = WorkerPool::new(4);
+    let req = RunRequest::new(&image, &model.params, &pool, 1).iterations(sampler.iterations());
+    let report = by_name("periodic")
+        .expect("periodic is registered")
+        .run(&req);
+    let m = match_circles(&scene.circles, report.detected(), 5.0);
+    println!(
+        "engine: periodic ({}) found {} circles in {:.2}s, F1 {:.2}",
+        report.validity.label(),
+        report.detected().len(),
+        report.total_time.as_secs_f64(),
+        m.f1()
+    );
 }

@@ -6,19 +6,25 @@
 //!
 //! The paper parallelises a reversible-jump MCMC application — detecting
 //! stained cell nuclei, abstracted to *finding circles of high intensity*
-//! — along the data axis, and this workspace implements all of it:
+//! — along the data axis, and this workspace implements all of it behind
+//! one engine:
 //!
-//! | Method | Module | Statistical validity |
+//! | Strategy name | Module | Statistical validity |
 //! |---|---|---|
-//! | Sequential RJMCMC baseline | [`core::sampler`] | exact |
-//! | Periodic partitioning (§V) | [`parallel::periodic`] | exact |
-//! | Speculative moves ([11]) | [`parallel::speculative`] | exact |
-//! | (MC)³ coupled chains (§IV) | [`core::mc3`] | exact |
-//! | Intelligent partitioning (§VIII) | [`parallel::intelligent`] | heuristic |
-//! | Blind partitioning (§VIII) | [`parallel::blind`] | heuristic |
-//! | Naive split (anti-baseline, §II) | [`parallel::naive`] | broken (by design) |
+//! | `sequential` (baseline) | [`core::sampler`] | exact |
+//! | `periodic` (§V) | [`parallel::periodic`] | exact |
+//! | `speculative` ([11]) | [`parallel::speculative`] | exact |
+//! | `mc3` — (MC)³ (§IV) | [`core::mc3`] + [`parallel::mc3par`] | exact |
+//! | `intelligent` (§VIII) | [`parallel::intelligent`] | heuristic |
+//! | `blind` (§VIII) | [`parallel::blind`] | heuristic |
+//! | `naive` (anti-baseline, §II) | [`parallel::naive`] | broken (by design) |
 //!
-//! ## Quickstart
+//! ## Quickstart: the `Strategy` engine
+//!
+//! Every scheme is runnable through the unified engine in
+//! [`parallel::engine`]: build one [`RunRequest`](prelude::RunRequest),
+//! pick strategies from the registry (or by name), and compare the
+//! uniform [`RunReport`](prelude::RunReport)s:
 //!
 //! ```
 //! use pmcmc::prelude::*;
@@ -29,15 +35,31 @@
 //! let scene = generate(&spec, &mut rng);
 //! let image = scene.render(&mut rng);
 //!
-//! // Build the Bayesian model and run the sequential sampler.
+//! // One request shared by every scheme: image, model parameters,
+//! // worker pool, seed, iteration budget.
 //! let params = ModelParams::new(128, 128, 6.0, 10.0);
-//! let model = NucleiModel::new(&image, params);
-//! let mut sampler = Sampler::new(&model, 42);
-//! sampler.run(10_000);
-//! println!("found {} circles", sampler.config.len());
+//! let pool = WorkerPool::new(4);
+//! let req = RunRequest::new(&image, &params, &pool, 42).iterations(10_000);
+//!
+//! // Run one scheme by name…
+//! let report = by_name("periodic").unwrap().run(&req);
+//! println!("periodic found {} circles", report.detected().len());
+//! assert!(report.validity.is_exact());
+//!
+//! // …or sweep the whole registry.
+//! for strategy in registry() {
+//!     let report = strategy.run(&req);
+//!     println!("{:<12} {} circles", report.strategy, report.detected().len());
+//! }
 //! ```
 //!
-//! See `examples/` for the full pipelines and `crates/bench` for the
+//! The scheme-specific layers stay public for callers that need richer
+//! control or outputs — e.g. [`core::Sampler`] for bare chains,
+//! [`parallel::PeriodicSampler`] for phase-level accounting, or
+//! [`parallel::run_blind`] for seam-merge details.
+//!
+//! See `examples/` for the full pipelines (`strategy_sweep` drives every
+//! registered strategy through the engine) and `crates/bench` for the
 //! harnesses regenerating every table and figure of the paper.
 
 pub use pmcmc_core as core;
@@ -48,15 +70,17 @@ pub use pmcmc_runtime as runtime;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use pmcmc_core::{
-        match_circles, Configuration, ConvergenceDetector, Mc3, ModelParams, MoveKind,
-        MoveWeights, NucleiModel, ProposalScales, Sampler, Trace, Xoshiro256,
+        match_circles, Configuration, ConvergenceDetector, Mc3, ModelParams, MoveKind, MoveWeights,
+        NucleiModel, ProposalScales, Sampler, Trace, Xoshiro256,
     };
     pub use pmcmc_imaging::synth::{generate, generate_clustered, ClusterSpec, Scene, SceneSpec};
     pub use pmcmc_imaging::{Circle, GrayImage, Mask, PartitionGrid, Rect};
     pub use pmcmc_parallel::{
-        run_blind, run_intelligent, run_naive, BlindOptions, DisputePolicy,
-        IntelligentPartitioner, NaiveOptions, PartitionScheme, PeriodicOptions, PeriodicSampler,
-        SpeculativeSampler, SubChainOptions,
+        by_name, registry, run_blind, run_intelligent, run_naive, BlindOptions, BlindStrategy,
+        DisputePolicy, IntelligentPartitioner, IntelligentStrategy, Mc3Strategy, NaiveOptions,
+        NaiveStrategy, PartitionScheme, PeriodicOptions, PeriodicSampler, PeriodicStrategy,
+        RunReport, RunRequest, SequentialStrategy, SpeculativeSampler, SpeculativeStrategy,
+        Strategy, SubChainOptions, Validity, STRATEGY_NAMES,
     };
     pub use pmcmc_runtime::WorkerPool;
 }

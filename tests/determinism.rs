@@ -25,7 +25,10 @@ fn model() -> (NucleiModel, Vec<Circle>, GrayImage) {
 }
 
 fn fingerprint(circles: &[Circle]) -> (usize, f64) {
-    let sum: f64 = circles.iter().map(|c| c.x * 3.0 + c.y * 7.0 + c.r * 11.0).sum();
+    let sum: f64 = circles
+        .iter()
+        .map(|c| c.x * 3.0 + c.y * 7.0 + c.r * 11.0)
+        .sum();
     (circles.len(), sum)
 }
 

@@ -25,6 +25,55 @@ fn scene(seed: u64) -> (NucleiModel, Vec<Circle>, GrayImage) {
     (NucleiModel::new(&img, params), sc.circles, img)
 }
 
+/// The tentpole engine contract: every registered strategy runs the same
+/// `RunRequest` on the shared 192² scene through the single
+/// `Strategy::run` API, and every *exact-validity* scheme reaches an F1
+/// within 0.05 of the sequential baseline (they sample the same
+/// posterior, so with a fixed seed and a 60k budget their detection
+/// quality must coincide up to Monte-Carlo noise).
+#[test]
+fn strategy_registry_sweeps_all_schemes_with_comparable_quality() {
+    let (_, truth, img) = scene(7);
+    let mut params = ModelParams::new(192, 192, truth.len() as f64, 8.0);
+    params.noise_sd = 0.15;
+    let pool = WorkerPool::new(4);
+    let req = RunRequest::new(&img, &params, &pool, 42).iterations(60_000);
+
+    let baseline = by_name("sequential")
+        .expect("sequential baseline registered")
+        .run(&req);
+    let f1_seq = match_circles(&truth, baseline.detected(), 5.0).f1();
+    assert!(f1_seq >= 0.8, "sequential baseline too weak: F1 {f1_seq}");
+
+    let mut swept = Vec::new();
+    for strategy in registry() {
+        let report = strategy.run(&req);
+        assert_eq!(report.strategy, strategy.name());
+        assert!(report.iterations > 0, "{} ran nothing", report.strategy);
+        let f1 = match_circles(&truth, report.detected(), 5.0).f1();
+        if report.validity.is_exact() {
+            assert!(
+                f1 >= f1_seq - 0.05,
+                "{}: exact scheme F1 {f1:.3} below sequential {f1_seq:.3} - 0.05",
+                report.strategy
+            );
+        }
+        swept.push(report.strategy.clone());
+    }
+    // The sweep covered all six parallelisation schemes plus the baseline.
+    for name in [
+        "sequential",
+        "periodic",
+        "speculative",
+        "mc3",
+        "intelligent",
+        "blind",
+        "naive",
+    ] {
+        assert!(swept.iter().any(|s| s == name), "{name} missing from sweep");
+    }
+}
+
 #[test]
 fn sequential_pipeline_detects_scene() {
     let (model, truth, _) = scene(1);

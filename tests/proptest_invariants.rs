@@ -6,6 +6,10 @@ use pmcmc::core::moves::propose;
 use pmcmc::core::sampler::evaluate_proposal;
 use pmcmc::prelude::*;
 use proptest::prelude::*;
+// Both preludes export a `Strategy` trait (the engine's and proptest's);
+// the explicit import shadows the glob imports in favour of proptest's,
+// which is the one `arb_circle` returns.
+use proptest::strategy::Strategy;
 
 fn small_model(w: u32, h: u32) -> NucleiModel {
     let img = GrayImage::from_fn(w, h, |x, y| ((x * 31 + y * 17) % 16) as f32 / 16.0);
@@ -46,7 +50,7 @@ proptest! {
         prop_assert_eq!(cfg.len(), len0);
         prop_assert!((cfg.log_lik() - lik0).abs() < 1e-6);
         prop_assert!((cfg.overlap_area() - ov0).abs() < 1e-6);
-        cfg.verify_consistency(&model).map_err(|e| TestCaseError::fail(e))?;
+        cfg.verify_consistency(&model).map_err(TestCaseError::fail)?;
     }
 
     /// The read-only evaluation equals the apply-based deltas for random
