@@ -1,34 +1,35 @@
 //! MATRIX — the cross-scheme comparison the paper never printed as one
-//! table: every registered strategy swept through the unified engine on
+//! table: every registered strategy swept through the typed job API on
 //! the §VII workload, reporting quality, runtime and phase breakdown on
 //! identical inputs.
 //!
-//! This is the bench-side consumer of `pmcmc_parallel::engine`: adding a
-//! scheme to the registry adds a row here with no further changes.
+//! This is the bench-side consumer of the `JobSpec` → `JobHandle` layer:
+//! adding a scheme to `StrategySpec::all()` adds a row here with no
+//! further changes, and every row's run is observable/cancellable like any
+//! other job.
 
 use pmcmc_bench::{bench_iters, print_header, section7_workload};
 use pmcmc_core::match_circles;
-use pmcmc_parallel::engine::{registry, RunRequest};
+use pmcmc_parallel::engine::StrategySpec;
+use pmcmc_parallel::job::{Engine, JobSpec};
 use pmcmc_parallel::report::{fmt_f, fmt_secs, Table};
-use pmcmc_runtime::WorkerPool;
 
 fn main() {
-    print_header("MATRIX: all strategies through the engine", "whole paper");
+    print_header("MATRIX: all strategies through the job API", "whole paper");
     let w = section7_workload(42);
     let iters = bench_iters();
-    let pool = WorkerPool::new(4);
-    let req = RunRequest::new(&w.image, &w.model.params, &pool, 7).iterations(iters);
+    let engine = Engine::new(4).expect("worker count is positive");
     println!(
         "workload: {}x{} image, {} cells, {} iterations, {} workers",
         w.image.width(),
         w.image.height(),
         w.truth.len(),
         iters,
-        pool.threads()
+        engine.pool().threads()
     );
 
     let mut table = Table::new(
-        "strategy matrix (identical request per row)",
+        "strategy matrix (identical job per row)",
         &[
             "strategy",
             "validity",
@@ -42,8 +43,15 @@ fn main() {
     );
 
     let mut seq_time = None;
-    for strategy in registry() {
-        let report = strategy.run(&req);
+    for spec in StrategySpec::all() {
+        let job = JobSpec::new(spec, w.image.clone(), w.model.params.clone())
+            .seed(7)
+            .iterations(iters);
+        let report = engine
+            .submit(job)
+            .expect("job spec is valid")
+            .wait()
+            .expect("matrix jobs run to completion");
         let m = match_circles(&w.truth, report.detected(), 5.0);
         let secs = report.total_time.as_secs_f64();
         if report.strategy == "sequential" {

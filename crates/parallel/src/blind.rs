@@ -8,7 +8,8 @@
 //! distance ≤ 5 px in the paper) and averaged, and unpaired overlap-band
 //! detections are "disputable" — kept or discarded by policy.
 
-use crate::subchain::{run_partition_chain, SubChainOptions, SubChainResult};
+use crate::job::{RunCtx, RunError};
+use crate::subchain::{run_partition_chain_ctx, SubChainOptions, SubChainResult};
 use pmcmc_core::rng::derive_seed;
 use pmcmc_core::ModelParams;
 use pmcmc_imaging::{regular_tiles, Circle, GrayImage, Rect};
@@ -28,7 +29,7 @@ pub enum DisputePolicy {
 }
 
 /// Blind-partitioning options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlindOptions {
     /// Grid columns.
     pub cols: u32,
@@ -104,6 +105,26 @@ pub fn run_blind(
     pool: &WorkerPool,
     seed: u64,
 ) -> BlindResult {
+    run_blind_ctx(img, base, opts, pool, seed, &RunCtx::default())
+        .expect("a detached context never stops a run")
+}
+
+/// Runs like [`run_blind`] under a [`RunCtx`]: phase and per-partition
+/// progress events are emitted (progress counts completed partitions) and
+/// the cancel token / deadline propagate into every partition chain.
+///
+/// # Errors
+/// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] when the
+/// context stops the run; `completed_iterations` sums the iterations the
+/// partition chains had executed before winding down.
+pub fn run_blind_ctx(
+    img: &GrayImage,
+    base: &ModelParams,
+    opts: &BlindOptions,
+    pool: &WorkerPool,
+    seed: u64,
+    ctx: &RunCtx,
+) -> Result<BlindResult, RunError> {
     let frame = img.frame();
     let cores = regular_tiles(img.width(), img.height(), opts.cols, opts.rows);
     let margin = (opts.margin_factor * base.radius_prior.mu).ceil() as i64;
@@ -113,21 +134,35 @@ pub fn run_blind(
         .collect();
 
     let t0 = Instant::now();
+    ctx.phase("chains");
+    let progress = ctx.partition_progress(extended.len() as u64);
     let tasks: Vec<(f64, _)> = extended
         .iter()
         .enumerate()
         .map(|(i, &ext)| {
             let weight = ext.area() as f64;
+            let progress = &progress;
             let task = move || {
-                run_partition_chain(img, ext, base, &opts.chain, derive_seed(seed, i as u64))
+                let res = run_partition_chain_ctx(
+                    img,
+                    ext,
+                    base,
+                    &opts.chain,
+                    derive_seed(seed, i as u64),
+                    ctx,
+                );
+                progress.tick();
+                res
             };
             (weight, task)
         })
         .collect();
     let chains = pool.run_batch(tasks);
     let chains_time = t0.elapsed();
+    ctx.should_stop(chains.iter().map(|c| c.iterations).sum())?;
 
     let t1 = Instant::now();
+    ctx.phase("merge");
     // Step 1: per-partition core filter ("beads whose centre is not inside
     // the dotted line ... are deleted from each partition's model"). We
     // apply the filter with a tolerance of merge_eps: a detection of an
@@ -237,14 +272,14 @@ pub fn run_blind(
     }
     let merge_time = t1.elapsed();
 
-    BlindResult {
+    Ok(BlindResult {
         partitions,
         merged,
         merged_pairs,
         disputed,
         chains_time,
         merge_time,
-    }
+    })
 }
 
 #[cfg(test)]

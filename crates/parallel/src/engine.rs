@@ -1,19 +1,22 @@
 //! The unified strategy engine: every parallelisation scheme of the paper
-//! behind one `RunRequest → RunReport` API.
+//! behind one typed API.
 //!
 //! The paper's entire argument is a *comparison* of parallelisation
 //! schemes on the same RJMCMC workload; this module is the comparison
-//! harness. Each scheme implements [`Strategy`], takes the same
+//! harness. A scheme is named by a typed [`StrategySpec`] (one variant per
+//! scheme, carrying that scheme's options, with `FromStr`/`Display` for
+//! CLI round-tripping), builds into a [`Strategy`], takes a
 //! [`RunRequest`] (image, model parameters, shared worker pool, seed,
-//! iteration budget) and produces the same [`RunReport`] (final
-//! [`Configuration`], per-phase timings, diagnostics and a statistical
-//! [`Validity`] tag), so benches, examples and tests can sweep schemes
-//! generically:
+//! iteration budget) plus a [`RunCtx`] (cancellation, deadline, progress
+//! observer) and produces a [`RunReport`] (final [`Configuration`],
+//! per-phase timings, diagnostics and a statistical [`Validity`] tag) —
+//! or a structured [`RunError`]:
 //!
 //! ```
 //! use pmcmc_core::ModelParams;
 //! use pmcmc_imaging::GrayImage;
-//! use pmcmc_parallel::engine::{registry, by_name, RunRequest};
+//! use pmcmc_parallel::engine::{RunRequest, StrategySpec};
+//! use pmcmc_parallel::job::RunCtx;
 //! use pmcmc_runtime::WorkerPool;
 //!
 //! let image = GrayImage::filled(64, 64, 0.1);
@@ -22,29 +25,35 @@
 //! let req = RunRequest::new(&image, &params, &pool, 7).iterations(2_000);
 //!
 //! // Sweep everything…
-//! for strategy in registry() {
-//!     let report = strategy.run(&req);
+//! for spec in StrategySpec::all() {
+//!     let report = spec.build().run(&req, &RunCtx::default()).unwrap();
 //!     println!("{}: {} circles", report.strategy, report.detected().len());
 //! }
-//! // …or pick one scheme by name.
-//! let periodic = by_name("periodic").expect("registered");
-//! assert!(periodic.run(&req).validity.is_exact());
+//! // …or pick one scheme from its CLI spelling.
+//! let spec: StrategySpec = "periodic".parse().unwrap();
+//! assert!(spec.build().run(&req, &RunCtx::default()).unwrap().validity.is_exact());
 //! ```
 //!
-//! The scheme-specific entry points (`run_blind`, [`PeriodicSampler`], …)
-//! remain available for callers that need scheme-specific outputs; the
-//! strategy types here are thin adapters over them.
+//! Service-style execution — owned job descriptions, background submission,
+//! live events, cancellation, batches — lives one layer up in
+//! [`crate::job`]. The scheme-specific entry points (`run_blind`,
+//! [`PeriodicSampler`], …) remain available for callers that need
+//! scheme-specific outputs; the strategy types here are thin adapters over
+//! them.
 
-use crate::blind::{run_blind, BlindOptions};
-use crate::intelligent::{run_intelligent, IntelligentPartitioner};
-use crate::mc3par::run_mc3_parallel;
-use crate::naive::{run_naive, NaiveOptions};
-use crate::periodic::{PeriodicOptions, PeriodicSampler};
+use crate::blind::{run_blind_ctx, BlindOptions};
+use crate::intelligent::{run_intelligent_ctx, IntelligentPartitioner};
+use crate::job::{RunCtx, RunError};
+use crate::mc3par::run_mc3_parallel_ctx;
+use crate::naive::{run_naive_ctx, NaiveOptions, NaivePrior};
+use crate::periodic::{PartitionScheme, PeriodicOptions, PeriodicSampler};
 use crate::speculative::SpeculativeSampler;
 use crate::subchain::SubChainOptions;
 use pmcmc_core::{Configuration, Mc3, ModelParams, NucleiModel, Sampler};
 use pmcmc_imaging::{Circle, GrayImage};
 use pmcmc_runtime::WorkerPool;
+use std::fmt;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 /// Statistical validity of a scheme, as classified by the paper.
@@ -126,6 +135,48 @@ impl<'a> RunRequest<'a> {
     pub fn model(&self) -> NucleiModel {
         NucleiModel::new(self.image, self.params.clone())
     }
+
+    /// Checks the request for impossible workloads; every strategy calls
+    /// this before touching the image, so bad inputs surface as
+    /// [`RunError::InvalidSpec`] instead of a panic deep inside a scheme.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] for a zero iteration budget, an empty
+    /// image, or image/parameter dimension mismatch.
+    pub fn validate(&self) -> Result<(), RunError> {
+        validate_workload(self.iterations, self.image, self.params)
+    }
+}
+
+/// The one workload validity check, shared by [`RunRequest::validate`] and
+/// `JobSpec::validate` so the two surfaces cannot drift apart.
+pub(crate) fn validate_workload(
+    iterations: u64,
+    image: &GrayImage,
+    params: &ModelParams,
+) -> Result<(), RunError> {
+    if iterations == 0 {
+        return Err(RunError::InvalidSpec(
+            "iteration budget must be at least 1".to_owned(),
+        ));
+    }
+    if image.width() == 0 || image.height() == 0 {
+        return Err(RunError::InvalidSpec(format!(
+            "image must be non-empty, got {}x{}",
+            image.width(),
+            image.height()
+        )));
+    }
+    if params.width != image.width() || params.height != image.height() {
+        return Err(RunError::InvalidSpec(format!(
+            "model parameters sized {}x{} do not match the {}x{} image",
+            params.width,
+            params.height,
+            image.width(),
+            image.height()
+        )));
+    }
+    Ok(())
 }
 
 /// One named phase of a run and the wall time spent in it.
@@ -229,6 +280,10 @@ impl RunReport {
 }
 
 /// A parallelisation scheme runnable through the unified engine.
+///
+/// Implementations poll `ctx` for cancellation/deadline inside their
+/// iteration loops and emit progress events through it, so every scheme is
+/// observable and stoppable through the [`crate::job`] layer.
 pub trait Strategy: Send + Sync {
     /// The registry name of the scheme (`"periodic"`, `"blind"`, …).
     fn name(&self) -> &str;
@@ -236,17 +291,13 @@ pub trait Strategy: Send + Sync {
     /// The paper's statistical-validity classification of the scheme.
     fn validity(&self) -> Validity;
 
-    /// Runs the scheme on the request's workload.
-    fn run(&self, req: &RunRequest<'_>) -> RunReport;
-}
-
-impl dyn Strategy {
-    /// Looks a scheme up by registry name — `<dyn Strategy>::by_name`,
-    /// equivalent to the free function [`by_name`].
-    #[must_use]
-    pub fn by_name(name: &str) -> Option<Box<dyn Strategy>> {
-        by_name(name)
-    }
+    /// Runs the scheme on the request's workload under the given context.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when the request fails validation;
+    /// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] when the
+    /// context stopped the run early.
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -254,7 +305,7 @@ impl dyn Strategy {
 
 /// The sequential RJMCMC baseline, registered so sweeps always include the
 /// reference every parallel scheme is judged against.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SequentialStrategy;
 
 impl Strategy for SequentialStrategy {
@@ -266,14 +317,27 @@ impl Strategy for SequentialStrategy {
         Validity::Exact
     }
 
-    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
+        req.validate()?;
         let model = req.model();
         let start = Instant::now();
         // Random initial configuration (§III), matching the start state of
         // every other engine strategy so sweeps compare schemes, not
         // initializations.
         let mut sampler = Sampler::new(&model, req.seed);
-        sampler.run(req.iterations);
+        ctx.phase("chain");
+        let stride = ctx.progress_stride();
+        let mut checkpoints = ctx.checkpointer();
+        let mut done = 0u64;
+        while done < req.iterations {
+            let step = stride.min(req.iterations - done);
+            sampler.run(step);
+            done += step;
+            ctx.progress(done, req.iterations)?;
+            if checkpoints.due(done) {
+                ctx.checkpoint(done, sampler.config.len(), sampler.log_posterior());
+            }
+        }
         let total = start.elapsed();
         let acceptance = sampler.stats.acceptance_rate();
         let mut report = RunReport::finish(
@@ -286,13 +350,13 @@ impl Strategy for SequentialStrategy {
         );
         report.phases = vec![PhaseTiming::new("chain", total)];
         report.diagnostics.acceptance_rate = Some(acceptance);
-        report
+        Ok(report)
     }
 }
 
 /// Periodic partitioning (§V) through the engine; runs its local phases on
 /// the request's shared pool.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PeriodicStrategy {
     /// Scheme options; `threads` is overridden by the request's pool size.
     pub options: PeriodicOptions,
@@ -307,11 +371,13 @@ impl Strategy for PeriodicStrategy {
         Validity::Exact
     }
 
-    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
+        req.validate()?;
+        StrategySpec::Periodic(self.options).validate()?;
         let model = req.model();
         let start = Instant::now();
         let mut sampler = PeriodicSampler::with_pool(&model, req.seed, self.options, req.pool);
-        let periodic_report = sampler.run(req.iterations);
+        let periodic_report = sampler.run_ctx(req.iterations, ctx)?;
         let total = start.elapsed();
         let stats = sampler.merged_stats();
         let mut report = RunReport::finish(
@@ -333,14 +399,14 @@ impl Strategy for PeriodicStrategy {
             .diagnostics
             .notes
             .push(format!("cycles={}", periodic_report.cycles));
-        report
+        Ok(report)
     }
 }
 
 /// Speculative moves through the engine. The spin team is sized by
 /// `lanes` (0 = use the request pool's thread count, capped at 8 — beyond
 /// that the eq. (3) returns diminish on commodity SMP).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpeculativeStrategy {
     /// Speculative lanes; 0 derives the count from the request's pool.
     pub lanes: usize,
@@ -355,7 +421,9 @@ impl Strategy for SpeculativeStrategy {
         Validity::Exact
     }
 
-    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
+        req.validate()?;
+        StrategySpec::Speculative { lanes: self.lanes }.validate()?;
         let lanes = if self.lanes == 0 {
             req.pool.threads().clamp(1, 8)
         } else {
@@ -364,7 +432,18 @@ impl Strategy for SpeculativeStrategy {
         let model = req.model();
         let start = Instant::now();
         let mut sampler = SpeculativeSampler::new(&model, req.seed, lanes);
-        sampler.run(req.iterations);
+        ctx.phase("rounds");
+        let stride = ctx.progress_stride();
+        let mut checkpoints = ctx.checkpointer();
+        while sampler.iterations() < req.iterations {
+            let step = stride.min(req.iterations - sampler.iterations());
+            sampler.run(step);
+            let done = sampler.iterations();
+            ctx.progress(done, req.iterations)?;
+            if checkpoints.due(done) {
+                ctx.checkpoint(done, sampler.config.len(), sampler.log_posterior());
+            }
+        }
         let total = start.elapsed();
         let acceptance = sampler.stats.acceptance_rate();
         let iterations = sampler.iterations();
@@ -381,13 +460,13 @@ impl Strategy for SpeculativeStrategy {
         report.diagnostics.partitions = lanes;
         report.diagnostics.acceptance_rate = Some(acceptance);
         report.diagnostics.notes.push(format!("rounds={rounds}"));
-        report
+        Ok(report)
     }
 }
 
 /// Metropolis-coupled MCMC (§IV) through the engine; chain segments fan
 /// out onto the request's shared pool.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mc3Strategy {
     /// Number of coupled chains (including the cold one).
     pub chains: usize,
@@ -416,13 +495,20 @@ impl Strategy for Mc3Strategy {
         Validity::Exact
     }
 
-    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
+        req.validate()?;
+        StrategySpec::Mc3 {
+            chains: self.chains,
+            heat: self.heat,
+            segment_len: self.segment_len,
+        }
+        .validate()?;
         let model = req.model();
         let segment_len = self.segment_len.max(1);
         let segments = (req.iterations / segment_len).max(1);
         let start = Instant::now();
         let mut mc3 = Mc3::new(&model, self.chains.max(2), self.heat, req.seed);
-        let mc3_report = run_mc3_parallel(&mut mc3, req.pool, segments, segment_len);
+        let mc3_report = run_mc3_parallel_ctx(&mut mc3, req.pool, segments, segment_len, ctx)?;
         let total = start.elapsed();
         let cold = mc3.cold();
         let mut report = RunReport::finish(
@@ -440,12 +526,12 @@ impl Strategy for Mc3Strategy {
             "swaps={}/{}",
             mc3.swap_stats.accepted, mc3.swap_stats.attempted
         ));
-        report
+        Ok(report)
     }
 }
 
 /// Intelligent partitioning (§VIII) through the engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct IntelligentStrategy {
     /// The guillotine pre-processor.
     pub partitioner: IntelligentPartitioner,
@@ -463,20 +549,22 @@ impl Strategy for IntelligentStrategy {
         Validity::Heuristic
     }
 
-    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
+        req.validate()?;
         let opts = SubChainOptions {
             max_iters: req.iterations,
             ..self.chain
         };
         let start = Instant::now();
-        let result = run_intelligent(
+        let result = run_intelligent_ctx(
             req.image,
             req.params,
             &self.partitioner,
             &opts,
             req.pool,
             req.seed,
-        );
+            ctx,
+        )?;
         let total = start.elapsed();
         let iterations = result.partitions.iter().map(|p| p.iterations).sum();
         let model = req.model();
@@ -499,12 +587,12 @@ impl Strategy for IntelligentStrategy {
                 p.rect, p.expected_count, p.converged_at
             ));
         }
-        report
+        Ok(report)
     }
 }
 
 /// Blind partitioning (§VIII/§IX) through the engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct BlindStrategy {
     /// Scheme options; the chain's `max_iters` is overridden by the
     /// request's iteration budget.
@@ -520,7 +608,9 @@ impl Strategy for BlindStrategy {
         Validity::Heuristic
     }
 
-    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
+        req.validate()?;
+        StrategySpec::Blind(self.options).validate()?;
         let opts = BlindOptions {
             chain: SubChainOptions {
                 max_iters: req.iterations,
@@ -529,7 +619,7 @@ impl Strategy for BlindStrategy {
             ..self.options
         };
         let start = Instant::now();
-        let result = run_blind(req.image, req.params, &opts, req.pool, req.seed);
+        let result = run_blind_ctx(req.image, req.params, &opts, req.pool, req.seed, ctx)?;
         let total = start.elapsed();
         let iterations = result.partitions.iter().map(|p| p.chain.iterations).sum();
         let model = req.model();
@@ -550,13 +640,13 @@ impl Strategy for BlindStrategy {
             "merged_pairs={}, disputed={}",
             result.merged_pairs, result.disputed
         ));
-        report
+        Ok(report)
     }
 }
 
 /// The naive divide-and-conquer baseline (anti-pattern, §II) through the
 /// engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NaiveStrategy {
     /// Scheme options; the chain's `max_iters` is overridden by the
     /// request's iteration budget.
@@ -572,7 +662,9 @@ impl Strategy for NaiveStrategy {
         Validity::Broken
     }
 
-    fn run(&self, req: &RunRequest<'_>) -> RunReport {
+    fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
+        req.validate()?;
+        StrategySpec::Naive(self.options).validate()?;
         let opts = NaiveOptions {
             chain: SubChainOptions {
                 max_iters: req.iterations,
@@ -581,7 +673,7 @@ impl Strategy for NaiveStrategy {
             ..self.options
         };
         let start = Instant::now();
-        let result = run_naive(req.image, req.params, &opts, req.pool, req.seed);
+        let result = run_naive_ctx(req.image, req.params, &opts, req.pool, req.seed, ctx)?;
         let total = start.elapsed();
         let iterations = result.partitions.iter().map(|p| p.iterations).sum();
         let model = req.model();
@@ -595,12 +687,385 @@ impl Strategy for NaiveStrategy {
         );
         report.phases = vec![PhaseTiming::new("chains", result.chains_time)];
         report.diagnostics.partitions = result.partitions.len();
-        report
+        Ok(report)
     }
 }
 
 // ---------------------------------------------------------------------------
-// Registry.
+// StrategySpec — the typed registry.
+
+/// A typed, serialisable description of one parallelisation scheme and its
+/// options — the primary way to name a strategy (the stringly
+/// [`by_name`] lookup is a thin shim over `StrategySpec::from_str`).
+///
+/// The CLI grammar is `name[:key=value[,key=value]…]`; `Display` renders
+/// the canonical spelling (options are emitted only when they differ from
+/// the scheme's defaults), so specs round-trip:
+///
+/// ```
+/// use pmcmc_parallel::engine::StrategySpec;
+///
+/// let spec: StrategySpec = "mc3:chains=4,heat=0.5".parse().unwrap();
+/// assert_eq!(spec, StrategySpec::Mc3 { chains: 4, heat: 0.5, segment_len: 500 });
+/// assert_eq!(spec.to_string(), "mc3:chains=4,heat=0.5");
+/// assert_eq!(spec.to_string().parse::<StrategySpec>().unwrap(), spec);
+///
+/// // Defaults render as the bare name.
+/// assert_eq!("periodic".parse::<StrategySpec>().unwrap().to_string(), "periodic");
+///
+/// // Unknown names and malformed options are structured errors, not panics.
+/// assert!("warp-drive".parse::<StrategySpec>().is_err());
+/// assert!("blind:cols=zero".parse::<StrategySpec>().is_err());
+/// ```
+///
+/// Options outside the grammar (e.g. the periodic tiling scheme or the
+/// partition chains' convergence knobs) keep their defaults when parsed
+/// and are not rendered; construct the variant directly to set them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategySpec {
+    /// The sequential RJMCMC baseline.
+    Sequential,
+    /// Periodic partitioning (§V). Keys: `global` (iterations per `Mg`
+    /// phase), `lanes` (speculative lanes for the `Mg` phases).
+    Periodic(PeriodicOptions),
+    /// Speculative moves. Key: `lanes` (0 derives from the pool).
+    Speculative {
+        /// Speculative lanes; 0 derives the count from the request's pool.
+        lanes: usize,
+    },
+    /// Metropolis-coupled MCMC (§IV). Keys: `chains`, `heat`, `segment`.
+    Mc3 {
+        /// Number of coupled chains (including the cold one).
+        chains: usize,
+        /// Temperature spacing (heat increment per chain).
+        heat: f64,
+        /// Iterations between swap attempts.
+        segment_len: u64,
+    },
+    /// Intelligent partitioning (§VIII). Keys: `theta` (pre-processor
+    /// threshold), `gap` (minimum empty-corridor width).
+    Intelligent {
+        /// The guillotine pre-processor.
+        partitioner: IntelligentPartitioner,
+        /// Per-partition chain options.
+        chain: SubChainOptions,
+    },
+    /// Blind partitioning (§VIII/§IX). Keys: `cols`, `rows`.
+    Blind(BlindOptions),
+    /// The naive anti-baseline (§II). Keys: `cols`, `rows`, `prior`
+    /// (`uniform` or `density`).
+    Naive(NaiveOptions),
+}
+
+impl StrategySpec {
+    /// Registry name of the scheme.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategySpec::Sequential => "sequential",
+            StrategySpec::Periodic(_) => "periodic",
+            StrategySpec::Speculative { .. } => "speculative",
+            StrategySpec::Mc3 { .. } => "mc3",
+            StrategySpec::Intelligent { .. } => "intelligent",
+            StrategySpec::Blind(_) => "blind",
+            StrategySpec::Naive(_) => "naive",
+        }
+    }
+
+    /// The paper's statistical-validity classification of the scheme.
+    #[must_use]
+    pub fn validity(&self) -> Validity {
+        match self {
+            StrategySpec::Sequential
+            | StrategySpec::Periodic(_)
+            | StrategySpec::Speculative { .. }
+            | StrategySpec::Mc3 { .. } => Validity::Exact,
+            StrategySpec::Intelligent { .. } | StrategySpec::Blind(_) => Validity::Heuristic,
+            StrategySpec::Naive(_) => Validity::Broken,
+        }
+    }
+
+    /// Builds the runnable strategy this spec describes.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Strategy> {
+        match *self {
+            StrategySpec::Sequential => Box::new(SequentialStrategy),
+            StrategySpec::Periodic(options) => Box::new(PeriodicStrategy { options }),
+            StrategySpec::Speculative { lanes } => Box::new(SpeculativeStrategy { lanes }),
+            StrategySpec::Mc3 {
+                chains,
+                heat,
+                segment_len,
+            } => Box::new(Mc3Strategy {
+                chains,
+                heat,
+                segment_len,
+            }),
+            StrategySpec::Intelligent { partitioner, chain } => {
+                Box::new(IntelligentStrategy { partitioner, chain })
+            }
+            StrategySpec::Blind(options) => Box::new(BlindStrategy { options }),
+            StrategySpec::Naive(options) => Box::new(NaiveStrategy { options }),
+        }
+    }
+
+    /// Checks the scheme options for values that would otherwise panic
+    /// deep inside a scheme (zero-sized partition grids, zero or absurd
+    /// speculative lane counts), so they surface as
+    /// [`RunError::InvalidSpec`] at parse/submit time instead. Called by
+    /// the `FromStr` grammar, by `JobSpec::validate`, and by the affected
+    /// strategies at run time (covering directly constructed options).
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] naming the offending option.
+    pub fn validate(&self) -> Result<(), RunError> {
+        /// SpinTeam spawns one busy-spinning OS thread per extra lane;
+        /// beyond this the eq. (3) returns are long gone and the only
+        /// effect is resource exhaustion.
+        const MAX_LANES: usize = 64;
+        let lanes_ok = |lanes: usize, what: &str| {
+            if lanes > MAX_LANES {
+                Err(RunError::InvalidSpec(format!(
+                    "{what} must be at most {MAX_LANES}, got {lanes}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match self {
+            StrategySpec::Periodic(o) => {
+                if let PartitionScheme::Grid { xm, ym } = o.scheme {
+                    if xm <= 0 || ym <= 0 {
+                        return Err(RunError::InvalidSpec(format!(
+                            "periodic grid spacing must be positive, got {xm}x{ym}"
+                        )));
+                    }
+                }
+                lanes_ok(o.speculative_global_lanes, "periodic `lanes`")
+            }
+            StrategySpec::Speculative { lanes } => lanes_ok(*lanes, "speculative `lanes`"),
+            StrategySpec::Mc3 { chains, heat, .. } => {
+                // One full sampler per chain and one pool task per chain
+                // per segment: the same resource argument as the lane cap.
+                lanes_ok(*chains, "mc3 `chains`")?;
+                if !heat.is_finite() || *heat < 0.0 {
+                    return Err(RunError::InvalidSpec(format!(
+                        "mc3 `heat` must be finite and non-negative, got {heat}"
+                    )));
+                }
+                Ok(())
+            }
+            StrategySpec::Blind(o) if o.cols == 0 || o.rows == 0 => Err(RunError::InvalidSpec(
+                format!("blind grid must be at least 1x1, got {}x{}", o.cols, o.rows),
+            )),
+            StrategySpec::Naive(o) if o.cols == 0 || o.rows == 0 => Err(RunError::InvalidSpec(
+                format!("naive grid must be at least 1x1, got {}x{}", o.cols, o.rows),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Every scheme with default options, in canonical sweep order
+    /// (reference first, exact schemes, then heuristics, then the broken
+    /// baseline).
+    #[must_use]
+    pub fn all() -> Vec<StrategySpec> {
+        let mc3 = Mc3Strategy::default();
+        vec![
+            StrategySpec::Sequential,
+            StrategySpec::Periodic(PeriodicOptions::default()),
+            StrategySpec::Speculative { lanes: 0 },
+            StrategySpec::Mc3 {
+                chains: mc3.chains,
+                heat: mc3.heat,
+                segment_len: mc3.segment_len,
+            },
+            StrategySpec::Intelligent {
+                partitioner: IntelligentPartitioner::default(),
+                chain: SubChainOptions::default(),
+            },
+            StrategySpec::Blind(BlindOptions::default()),
+            StrategySpec::Naive(NaiveOptions::default()),
+        ]
+    }
+}
+
+impl fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())?;
+        let mut opts: Vec<String> = Vec::new();
+        match self {
+            StrategySpec::Sequential => {}
+            StrategySpec::Periodic(o) => {
+                let d = PeriodicOptions::default();
+                if o.global_phase_iters != d.global_phase_iters {
+                    opts.push(format!("global={}", o.global_phase_iters));
+                }
+                if o.speculative_global_lanes != d.speculative_global_lanes {
+                    opts.push(format!("lanes={}", o.speculative_global_lanes));
+                }
+            }
+            StrategySpec::Speculative { lanes } => {
+                if *lanes != 0 {
+                    opts.push(format!("lanes={lanes}"));
+                }
+            }
+            StrategySpec::Mc3 {
+                chains,
+                heat,
+                segment_len,
+            } => {
+                let d = Mc3Strategy::default();
+                if *chains != d.chains {
+                    opts.push(format!("chains={chains}"));
+                }
+                if (*heat - d.heat).abs() > f64::EPSILON {
+                    opts.push(format!("heat={heat}"));
+                }
+                if *segment_len != d.segment_len {
+                    opts.push(format!("segment={segment_len}"));
+                }
+            }
+            StrategySpec::Intelligent { partitioner, .. } => {
+                let d = IntelligentPartitioner::default();
+                if (partitioner.theta - d.theta).abs() > f32::EPSILON {
+                    opts.push(format!("theta={}", partitioner.theta));
+                }
+                if partitioner.min_gap != d.min_gap {
+                    opts.push(format!("gap={}", partitioner.min_gap));
+                }
+            }
+            StrategySpec::Blind(o) => {
+                let d = BlindOptions::default();
+                if o.cols != d.cols {
+                    opts.push(format!("cols={}", o.cols));
+                }
+                if o.rows != d.rows {
+                    opts.push(format!("rows={}", o.rows));
+                }
+            }
+            StrategySpec::Naive(o) => {
+                let d = NaiveOptions::default();
+                if o.cols != d.cols {
+                    opts.push(format!("cols={}", o.cols));
+                }
+                if o.rows != d.rows {
+                    opts.push(format!("rows={}", o.rows));
+                }
+                if o.prior != d.prior {
+                    opts.push("prior=uniform".to_owned());
+                }
+            }
+        }
+        if !opts.is_empty() {
+            write!(f, ":{}", opts.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses one `key=value` option, with a structured error naming the
+/// offending key.
+fn parse_opt<T: FromStr>(scheme: &str, key: &str, value: &str) -> Result<T, RunError> {
+    value.parse().map_err(|_| {
+        RunError::InvalidSpec(format!(
+            "invalid value `{value}` for option `{key}` of `{scheme}`"
+        ))
+    })
+}
+
+impl FromStr for StrategySpec {
+    type Err = RunError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, opts) = match s.split_once(':') {
+            Some((n, o)) => (n, o),
+            None => (s, ""),
+        };
+        let pairs: Vec<(&str, &str)> = opts
+            .split(',')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| {
+                kv.split_once('=').ok_or_else(|| {
+                    RunError::InvalidSpec(format!("malformed option `{kv}` (expected key=value)"))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let unknown = |key: &str| {
+            RunError::InvalidSpec(format!("unknown option `{key}` for strategy `{name}`"))
+        };
+        let mut spec = match name {
+            "sequential" => StrategySpec::Sequential,
+            "periodic" => StrategySpec::Periodic(PeriodicOptions::default()),
+            "speculative" => StrategySpec::Speculative { lanes: 0 },
+            // `mc3par` is the historical module name, kept as an alias.
+            "mc3" | "mc3par" => {
+                let d = Mc3Strategy::default();
+                StrategySpec::Mc3 {
+                    chains: d.chains,
+                    heat: d.heat,
+                    segment_len: d.segment_len,
+                }
+            }
+            "intelligent" => StrategySpec::Intelligent {
+                partitioner: IntelligentPartitioner::default(),
+                chain: SubChainOptions::default(),
+            },
+            "blind" => StrategySpec::Blind(BlindOptions::default()),
+            "naive" => StrategySpec::Naive(NaiveOptions::default()),
+            other => return Err(RunError::UnknownStrategy(other.to_owned())),
+        };
+        for (key, value) in pairs {
+            match (&mut spec, key) {
+                (StrategySpec::Periodic(o), "global") => {
+                    o.global_phase_iters = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Periodic(o), "lanes") => {
+                    o.speculative_global_lanes = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Speculative { lanes }, "lanes") => {
+                    *lanes = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Mc3 { chains, .. }, "chains") => {
+                    *chains = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Mc3 { heat, .. }, "heat") => {
+                    *heat = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Mc3 { segment_len, .. }, "segment") => {
+                    *segment_len = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Intelligent { partitioner, .. }, "theta") => {
+                    partitioner.theta = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Intelligent { partitioner, .. }, "gap") => {
+                    partitioner.min_gap = parse_opt(name, key, value)?;
+                }
+                (StrategySpec::Blind(o), "cols") => o.cols = parse_opt(name, key, value)?,
+                (StrategySpec::Blind(o), "rows") => o.rows = parse_opt(name, key, value)?,
+                (StrategySpec::Naive(o), "cols") => o.cols = parse_opt(name, key, value)?,
+                (StrategySpec::Naive(o), "rows") => o.rows = parse_opt(name, key, value)?,
+                (StrategySpec::Naive(o), "prior") => {
+                    o.prior = match value {
+                        "uniform" => NaivePrior::UniformSplit,
+                        "density" => NaivePrior::DensityEstimate,
+                        _ => {
+                            return Err(RunError::InvalidSpec(format!(
+                                "invalid value `{value}` for option `prior` (uniform|density)"
+                            )))
+                        }
+                    };
+                }
+                _ => return Err(unknown(key)),
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry shims.
 
 /// Names of every registered strategy, in canonical sweep order
 /// (reference first, exact schemes, then heuristics, then the broken
@@ -619,31 +1084,24 @@ pub const STRATEGY_NAMES: [&str; 7] = [
 /// [`STRATEGY_NAMES`] order.
 #[must_use]
 pub fn registry() -> Vec<Box<dyn Strategy>> {
-    STRATEGY_NAMES
+    StrategySpec::all()
         .iter()
-        .map(|n| by_name(n).expect("registry name resolves"))
+        .map(StrategySpec::build)
         .collect()
 }
 
-/// Builds the strategy registered under `name` (with default options).
-/// Accepts the historical module name `mc3par` as an alias for `mc3`.
+/// Builds the strategy registered under `name` — a thin, historical shim
+/// over [`StrategySpec`]'s `FromStr` (which also accepts `name:key=value`
+/// option suffixes and reports *why* a spelling is rejected).
 #[must_use]
 pub fn by_name(name: &str) -> Option<Box<dyn Strategy>> {
-    match name {
-        "sequential" => Some(Box::new(SequentialStrategy)),
-        "periodic" => Some(Box::new(PeriodicStrategy::default())),
-        "speculative" => Some(Box::new(SpeculativeStrategy::default())),
-        "mc3" | "mc3par" => Some(Box::new(Mc3Strategy::default())),
-        "intelligent" => Some(Box::new(IntelligentStrategy::default())),
-        "blind" => Some(Box::new(BlindStrategy::default())),
-        "naive" => Some(Box::new(NaiveStrategy::default())),
-        _ => None,
-    }
+    name.parse::<StrategySpec>().ok().map(|s| s.build())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blind::DisputePolicy;
     use pmcmc_core::Xoshiro256;
     use pmcmc_imaging::synth::{generate, SceneSpec};
 
@@ -680,10 +1138,12 @@ mod tests {
     }
 
     #[test]
-    fn by_name_via_dyn_strategy_associated_fn() {
-        let s = <dyn Strategy>::by_name("periodic").unwrap();
-        assert_eq!(s.name(), "periodic");
-        assert!(s.validity().is_exact());
+    fn spec_names_and_validities_line_up_with_built_strategies() {
+        for spec in StrategySpec::all() {
+            let built = spec.build();
+            assert_eq!(spec.name(), built.name());
+            assert_eq!(spec.validity(), built.validity());
+        }
     }
 
     #[test]
@@ -699,13 +1159,172 @@ mod tests {
     }
 
     #[test]
+    fn spec_display_round_trips_through_from_str() {
+        let specs = [
+            StrategySpec::Sequential,
+            StrategySpec::Periodic(PeriodicOptions {
+                global_phase_iters: 256,
+                speculative_global_lanes: 4,
+                ..PeriodicOptions::default()
+            }),
+            StrategySpec::Speculative { lanes: 8 },
+            StrategySpec::Mc3 {
+                chains: 5,
+                heat: 0.25,
+                segment_len: 250,
+            },
+            StrategySpec::Intelligent {
+                partitioner: IntelligentPartitioner {
+                    theta: 0.25,
+                    min_gap: 5,
+                },
+                chain: SubChainOptions::default(),
+            },
+            StrategySpec::Blind(BlindOptions {
+                cols: 3,
+                rows: 4,
+                ..BlindOptions::default()
+            }),
+            StrategySpec::Naive(NaiveOptions {
+                prior: NaivePrior::UniformSplit,
+                ..NaiveOptions::default()
+            }),
+        ];
+        for spec in specs {
+            let rendered = spec.to_string();
+            let parsed: StrategySpec = rendered.parse().unwrap_or_else(|e| {
+                panic!("`{rendered}` failed to re-parse: {e}");
+            });
+            assert_eq!(parsed, spec, "round-trip of `{rendered}`");
+        }
+        // Defaults render as bare names.
+        for spec in StrategySpec::all() {
+            assert_eq!(spec.to_string(), spec.name());
+        }
+    }
+
+    #[test]
+    fn spec_parse_rejects_bad_input_with_structured_errors() {
+        assert_eq!(
+            "warp-drive".parse::<StrategySpec>(),
+            Err(RunError::UnknownStrategy("warp-drive".to_owned()))
+        );
+        assert!(matches!(
+            "mc3:warp=9".parse::<StrategySpec>(),
+            Err(RunError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            "blind:cols".parse::<StrategySpec>(),
+            Err(RunError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            "speculative:lanes=many".parse::<StrategySpec>(),
+            Err(RunError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            "naive:prior=chaotic".parse::<StrategySpec>(),
+            Err(RunError::InvalidSpec(_))
+        ));
+        // Options on a scheme that has none in the grammar.
+        assert!(matches!(
+            "sequential:x=1".parse::<StrategySpec>(),
+            Err(RunError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn panic_prone_scheme_options_are_rejected_as_invalid_spec() {
+        // Parse-time rejection: these spellings would otherwise assert
+        // deep inside regular_tiles / exhaust threads in SpinTeam.
+        for bad in [
+            "blind:cols=0",
+            "blind:rows=0",
+            "naive:cols=0",
+            "speculative:lanes=1000000",
+            "periodic:lanes=1000000",
+            "mc3:chains=100000000",
+            "mc3:heat=nan",
+            "mc3:heat=-1",
+        ] {
+            assert!(
+                matches!(bad.parse::<StrategySpec>(), Err(RunError::InvalidSpec(_))),
+                "`{bad}` parsed despite panic-prone options"
+            );
+        }
+        // Run-time rejection for directly constructed options.
+        let (img, params) = small_workload();
+        let pool = WorkerPool::new(2);
+        let req = RunRequest::new(&img, &params, &pool, 1).iterations(500);
+        let ctx = RunCtx::default();
+        let bad_runs: Vec<Box<dyn Strategy>> = vec![
+            Box::new(BlindStrategy {
+                options: BlindOptions {
+                    cols: 0,
+                    ..BlindOptions::default()
+                },
+            }),
+            Box::new(NaiveStrategy {
+                options: NaiveOptions {
+                    rows: 0,
+                    ..NaiveOptions::default()
+                },
+            }),
+            Box::new(SpeculativeStrategy { lanes: 1_000_000 }),
+            Box::new(PeriodicStrategy {
+                options: PeriodicOptions {
+                    scheme: PartitionScheme::Grid { xm: 0, ym: 48 },
+                    ..PeriodicOptions::default()
+                },
+            }),
+        ];
+        for strategy in bad_runs {
+            assert!(
+                matches!(strategy.run(&req, &ctx), Err(RunError::InvalidSpec(_))),
+                "{} ran with panic-prone options",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_requests_error_instead_of_panicking() {
+        let (img, params) = small_workload();
+        let pool = WorkerPool::new(2);
+        let ctx = RunCtx::default();
+
+        let zero_iters = RunRequest::new(&img, &params, &pool, 1).iterations(0);
+        let wrong_params = ModelParams::new(32, 32, 2.0, 8.0);
+        let mismatched = RunRequest::new(&img, &wrong_params, &pool, 1);
+        for strategy in registry() {
+            assert!(
+                matches!(
+                    strategy.run(&zero_iters, &ctx),
+                    Err(RunError::InvalidSpec(_))
+                ),
+                "{} accepted a zero budget",
+                strategy.name()
+            );
+            assert!(
+                matches!(
+                    strategy.run(&mismatched, &ctx),
+                    Err(RunError::InvalidSpec(_))
+                ),
+                "{} accepted mismatched params",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
     fn every_strategy_produces_consistent_reports_on_shared_request() {
         let (img, params) = small_workload();
         let pool = WorkerPool::new(2);
         let req = RunRequest::new(&img, &params, &pool, 11).iterations(3_000);
         let model = req.model();
         for strategy in registry() {
-            let report = strategy.run(&req);
+            let report = strategy
+                .run(&req, &RunCtx::default())
+                .expect("detached run succeeds");
             assert_eq!(report.strategy, strategy.name());
             assert_eq!(report.validity, strategy.validity());
             assert!(
@@ -734,7 +1353,10 @@ mod tests {
         for name in ["periodic", "speculative", "blind"] {
             let run = || {
                 let req = RunRequest::new(&img, &params, &pool, 21).iterations(2_000);
-                let report = by_name(name).unwrap().run(&req);
+                let report = by_name(name)
+                    .unwrap()
+                    .run(&req, &RunCtx::default())
+                    .expect("detached run succeeds");
                 (report.detected().len(), report.diagnostics.log_posterior)
             };
             let (n1, lp1) = run();
@@ -749,10 +1371,27 @@ mod tests {
         let (img, params) = small_workload();
         let pool = WorkerPool::new(2);
         let req = RunRequest::new(&img, &params, &pool, 5).iterations(1_500);
-        let report = by_name("periodic").unwrap().run(&req);
+        let report = by_name("periodic")
+            .unwrap()
+            .run(&req, &RunCtx::default())
+            .expect("detached run succeeds");
         assert!(report.phase("global").is_some());
         assert!(report.phase("local").is_some());
         assert!(report.phase("overhead").is_some());
         assert!(report.phase("nonexistent").is_none());
+    }
+
+    #[test]
+    fn blind_spec_preserves_unserialised_options_on_build() {
+        // Display only covers the grammar subset; build() must still carry
+        // every option through.
+        let spec = StrategySpec::Blind(BlindOptions {
+            dispute: DisputePolicy::Discard,
+            merge_eps: 7.5,
+            ..BlindOptions::default()
+        });
+        assert_eq!(spec.to_string(), "blind");
+        let built = spec.build();
+        assert_eq!(built.name(), "blind");
     }
 }

@@ -8,7 +8,8 @@
 //! [`crate::subchain`]) and the results are concatenated — trivially,
 //! because the pre-processor guarantees the partitions don't interact.
 
-use crate::subchain::{run_partition_chain, SubChainOptions, SubChainResult};
+use crate::job::{RunCtx, RunError};
+use crate::subchain::{run_partition_chain_ctx, SubChainOptions, SubChainResult};
 use pmcmc_core::rng::derive_seed;
 use pmcmc_core::ModelParams;
 use pmcmc_imaging::filter::threshold;
@@ -17,7 +18,7 @@ use pmcmc_runtime::WorkerPool;
 use std::time::{Duration, Instant};
 
 /// The guillotine pre-processor.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IntelligentPartitioner {
     /// Intensity threshold θ (paper: 0.5 for intensities in `[0, 1]`).
     pub theta: f32,
@@ -150,11 +151,36 @@ pub fn run_intelligent(
     pool: &WorkerPool,
     seed: u64,
 ) -> IntelligentResult {
+    run_intelligent_ctx(img, base, partitioner, opts, pool, seed, &RunCtx::default())
+        .expect("a detached context never stops a run")
+}
+
+/// Runs like [`run_intelligent`] under a [`RunCtx`]: phase and
+/// per-partition progress events are emitted (progress counts completed
+/// partitions), and the cancel token / deadline propagate into every
+/// partition chain.
+///
+/// # Errors
+/// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] when the
+/// context stops the run; `completed_iterations` sums the iterations the
+/// partition chains had executed before winding down.
+pub fn run_intelligent_ctx(
+    img: &GrayImage,
+    base: &ModelParams,
+    partitioner: &IntelligentPartitioner,
+    opts: &SubChainOptions,
+    pool: &WorkerPool,
+    seed: u64,
+    ctx: &RunCtx,
+) -> Result<IntelligentResult, RunError> {
     let t0 = Instant::now();
+    ctx.phase("preprocess");
     let (rects, mask) = partitioner.partition(img);
     let preprocess_time = t0.elapsed();
 
     let t1 = Instant::now();
+    ctx.phase("chains");
+    let progress = ctx.partition_progress(rects.len() as u64);
     // Weight tasks by thresholded pixel count (proxy for chain cost) so the
     // pool's LPT ordering load-balances when partitions outnumber threads.
     let tasks: Vec<(f64, _)> = rects
@@ -162,24 +188,36 @@ pub fn run_intelligent(
         .enumerate()
         .map(|(i, &rect)| {
             let weight = mask.count_ones_in(&rect) as f64 + 1.0;
-            let task =
-                move || run_partition_chain(img, rect, base, opts, derive_seed(seed, i as u64));
+            let progress = &progress;
+            let task = move || {
+                let res = run_partition_chain_ctx(
+                    img,
+                    rect,
+                    base,
+                    opts,
+                    derive_seed(seed, i as u64),
+                    ctx,
+                );
+                progress.tick();
+                res
+            };
             (weight, task)
         })
         .collect();
     let partitions = pool.run_batch(tasks);
     let chains_time = t1.elapsed();
 
+    ctx.should_stop(partitions.iter().map(|p| p.iterations).sum())?;
     let merged = partitions
         .iter()
         .flat_map(|p| p.detected.iter().copied())
         .collect();
-    IntelligentResult {
+    Ok(IntelligentResult {
         partitions,
         merged,
         preprocess_time,
         chains_time,
-    }
+    })
 }
 
 #[cfg(test)]

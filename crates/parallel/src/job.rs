@@ -1,0 +1,841 @@
+//! The typed, observable job layer: `JobSpec` → [`Engine::submit`] →
+//! [`JobHandle`].
+//!
+//! The [`crate::engine`] module defines *what* runs (a
+//! [`Strategy`](crate::engine::Strategy) on a
+//! [`RunRequest`](crate::engine::RunRequest)); this module defines *how a
+//! service runs it*: jobs are described by an owned, validated [`JobSpec`]
+//! (strategy, image, parameters, seed, iteration budget, deadline,
+//! checkpoint interval), submitted onto a shared [`Engine`] and observed
+//! while in flight through a [`JobHandle`] — progress [`Event`]s via an
+//! observer callback or a channel, cooperative cancellation via
+//! [`CancelToken`], and a final `wait() -> Result<RunReport, RunError>`
+//! with structured errors instead of panics. [`Engine::submit_batch`]
+//! fans N jobs out over the same worker pool and streams per-job reports
+//! as they finish.
+//!
+//! ```
+//! use pmcmc_core::ModelParams;
+//! use pmcmc_imaging::GrayImage;
+//! use pmcmc_parallel::engine::StrategySpec;
+//! use pmcmc_parallel::job::{Engine, Event, JobSpec};
+//!
+//! let engine = Engine::new(2).unwrap();
+//! let image = GrayImage::filled(64, 64, 0.1);
+//! let params = ModelParams::new(64, 64, 2.0, 8.0);
+//!
+//! let spec = JobSpec::new(StrategySpec::Sequential, image, params)
+//!     .seed(7)
+//!     .iterations(2_000)
+//!     .observer(|ev| {
+//!         if let Event::PhaseStarted { phase } = ev {
+//!             println!("entering phase {phase}");
+//!         }
+//!     });
+//! let handle = engine.submit(spec).unwrap();
+//! let report = handle.wait().unwrap();
+//! assert_eq!(report.strategy, "sequential");
+//! ```
+
+use crate::engine::{RunReport, RunRequest, StrategySpec};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pmcmc_core::ModelParams;
+use pmcmc_imaging::GrayImage;
+use pmcmc_runtime::WorkerPool;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Errors.
+
+/// Structured failure modes of a run — the replacement for the panics and
+/// `Option`s of the original one-shot API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The spec describes an impossible workload (zero iterations, empty
+    /// image, mismatched dimensions, zero workers, malformed strategy
+    /// options).
+    InvalidSpec(String),
+    /// No strategy is registered under the given name.
+    UnknownStrategy(String),
+    /// The job's [`CancelToken`] fired; the run stopped cooperatively.
+    Cancelled {
+        /// Iterations completed before the token was observed.
+        completed_iterations: u64,
+    },
+    /// The job's deadline passed before the iteration budget was spent.
+    DeadlineExceeded {
+        /// Iterations completed before the deadline was observed.
+        completed_iterations: u64,
+    },
+    /// The job thread panicked; the payload message is preserved.
+    Panicked(String),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
+            RunError::UnknownStrategy(name) => write!(f, "unknown strategy `{name}`"),
+            RunError::Cancelled {
+                completed_iterations,
+            } => write!(f, "cancelled after {completed_iterations} iterations"),
+            RunError::DeadlineExceeded {
+                completed_iterations,
+            } => write!(
+                f,
+                "deadline exceeded after {completed_iterations} iterations"
+            ),
+            RunError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+// ---------------------------------------------------------------------------
+// Cancellation.
+
+/// A cheap, cloneable cooperative-cancellation flag. Every strategy polls
+/// its job's token inside its iteration loop (at the progress stride, or
+/// per cycle/segment/convergence-check for the phase-structured schemes)
+/// and winds down with [`RunError::Cancelled`] when it fires.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates an un-fired token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events.
+
+/// A progress event emitted by a running job, in emission order.
+///
+/// `Progress::done` is monotonically non-decreasing within a job. Its unit
+/// is scheme-dependent: chain-driven schemes (`sequential`, `periodic`,
+/// `speculative`, `mc3`) report iterations against the iteration budget;
+/// partition schemes (`intelligent`, `blind`, `naive`) report completed
+/// partitions against the partition count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A named phase of the scheme began. Labels follow
+    /// [`RunReport::phases`](crate::engine::RunReport::phases) for the
+    /// staged schemes (`"preprocess"`/`"chains"`/`"merge"`, …); schemes
+    /// whose phases interleave too finely to announce individually emit a
+    /// single label for the whole loop (`periodic` emits `"cycles"` once,
+    /// though its report still breaks time down into global/local/
+    /// overhead).
+    PhaseStarted {
+        /// Phase label (e.g. `"chain"`, `"cycles"`, `"merge"`).
+        phase: &'static str,
+    },
+    /// Work advanced to `done` of `total` units (`done` may overshoot
+    /// `total` on the final event for schemes with cycle/round granularity).
+    Progress {
+        /// Units completed so far.
+        done: u64,
+        /// Total units budgeted.
+        total: u64,
+    },
+    /// A convergence detector fired at the given iteration (emitted by the
+    /// partition schemes' per-partition chains).
+    Converged {
+        /// Iteration at which convergence was detected.
+        at: u64,
+    },
+    /// A periodic state snapshot (requested via
+    /// [`JobSpec::checkpoint_interval`]); emitted by the chain-driven
+    /// schemes which own a central configuration.
+    Checkpoint {
+        /// Iterations completed at the snapshot.
+        iterations: u64,
+        /// Circles in the current configuration.
+        circles: usize,
+        /// Log-posterior of the current configuration.
+        log_posterior: f64,
+    },
+}
+
+type Observer = dyn Fn(&Event) + Send + Sync;
+
+// ---------------------------------------------------------------------------
+// Run context.
+
+/// Everything a strategy needs to be observable and stoppable: the cancel
+/// token, optional deadline, optional observer and the progress stride.
+///
+/// A default context is fully detached — no observer, no deadline, a token
+/// that never fires — so scheme-level entry points that predate the job
+/// API run unchanged through it.
+pub struct RunCtx {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    observer: Option<Box<Observer>>,
+    checkpoint_interval: Option<u64>,
+    progress_stride: u64,
+}
+
+impl Default for RunCtx {
+    fn default() -> Self {
+        Self {
+            cancel: CancelToken::new(),
+            deadline: None,
+            observer: None,
+            checkpoint_interval: None,
+            progress_stride: 1024,
+        }
+    }
+}
+
+impl RunCtx {
+    /// Creates a detached context (no observer, never stops early).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a cancel token.
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches an observer called synchronously for every event. The
+    /// partition schemes call it from pool worker threads, hence the
+    /// `Send + Sync` bound.
+    #[must_use]
+    pub fn with_observer(mut self, observer: impl Fn(&Event) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// Requests [`Event::Checkpoint`] snapshots every `iterations`.
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, iterations: u64) -> Self {
+        self.checkpoint_interval = Some(iterations.max(1));
+        self
+    }
+
+    /// Sets the iteration stride between progress events / token polls.
+    #[must_use]
+    pub fn with_progress_stride(mut self, stride: u64) -> Self {
+        self.progress_stride = stride.max(1);
+        self
+    }
+
+    /// Iterations between progress events / token polls.
+    #[must_use]
+    pub fn progress_stride(&self) -> u64 {
+        self.progress_stride
+    }
+
+    /// A clone of the context's cancel token.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Emits an event to the observer, if any.
+    pub fn emit(&self, event: &Event) {
+        if let Some(obs) = &self.observer {
+            obs(event);
+        }
+    }
+
+    /// Emits [`Event::PhaseStarted`].
+    pub fn phase(&self, phase: &'static str) {
+        self.emit(&Event::PhaseStarted { phase });
+    }
+
+    /// Emits [`Event::Converged`].
+    pub fn converged(&self, at: u64) {
+        self.emit(&Event::Converged { at });
+    }
+
+    /// Whether the run should wind down (token fired or deadline passed).
+    /// Cheap enough for per-stride polling from worker threads.
+    #[must_use]
+    pub fn stopped(&self) -> bool {
+        self.cancel.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Returns the structured stop error if the run should wind down.
+    ///
+    /// # Errors
+    /// [`RunError::Cancelled`] when the token fired,
+    /// [`RunError::DeadlineExceeded`] when the deadline passed.
+    pub fn should_stop(&self, completed_iterations: u64) -> Result<(), RunError> {
+        if self.cancel.is_cancelled() {
+            return Err(RunError::Cancelled {
+                completed_iterations,
+            });
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(RunError::DeadlineExceeded {
+                completed_iterations,
+            });
+        }
+        Ok(())
+    }
+
+    /// Polls for cancellation/deadline and emits [`Event::Progress`].
+    ///
+    /// # Errors
+    /// Propagates [`RunCtx::should_stop`].
+    pub fn progress(&self, done: u64, total: u64) -> Result<(), RunError> {
+        self.should_stop(done)?;
+        self.emit(&Event::Progress { done, total });
+        Ok(())
+    }
+
+    /// Emits [`Event::Checkpoint`].
+    pub fn checkpoint(&self, iterations: u64, circles: usize, log_posterior: f64) {
+        self.emit(&Event::Checkpoint {
+            iterations,
+            circles,
+            log_posterior,
+        });
+    }
+
+    /// A per-run checkpoint schedule. The strategy's run loop owns it, so
+    /// checkpoint throttling state never leaks between runs that share
+    /// one context.
+    #[must_use]
+    pub fn checkpointer(&self) -> Checkpointer {
+        Checkpointer {
+            every: self.checkpoint_interval,
+            last: 0,
+        }
+    }
+
+    /// A completed-units counter for fan-out stages: worker tasks call
+    /// [`ProgressCounter::tick`] as they finish and the counter emits
+    /// ordered [`Event::Progress`] events (the partition schemes use one
+    /// per chains stage, counting finished partitions).
+    #[must_use]
+    pub fn partition_progress(&self, total: u64) -> ProgressCounter<'_> {
+        ProgressCounter {
+            ctx: self,
+            total,
+            done: parking_lot::Mutex::new(0),
+        }
+    }
+}
+
+/// Per-run checkpoint schedule handed out by [`RunCtx::checkpointer`]:
+/// [`Checkpointer::due`] returns whether a snapshot is owed at the given
+/// iteration (so callers can skip computing the log-posterior when not)
+/// and records the snapshot point when it is.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    every: Option<u64>,
+    last: u64,
+}
+
+impl Checkpointer {
+    /// Whether a checkpoint is due at `iterations`; marks it taken when so.
+    pub fn due(&mut self, iterations: u64) -> bool {
+        match self.every {
+            Some(every) if iterations >= self.last + every => {
+                self.last = iterations;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Shared completed-units counter handed out by
+/// [`RunCtx::partition_progress`]. Counting and emitting happen under one
+/// lock so `Progress::done` values reach the observer in order even when
+/// ticks race across pool workers.
+pub struct ProgressCounter<'c> {
+    ctx: &'c RunCtx,
+    total: u64,
+    done: parking_lot::Mutex<u64>,
+}
+
+impl ProgressCounter<'_> {
+    /// Records one completed unit and emits progress. A fired cancel
+    /// token makes the emission a no-op — the caller surfaces the stop
+    /// via [`RunCtx::should_stop`] once the fan-out drains.
+    pub fn tick(&self) {
+        let mut done = self.done.lock();
+        *done += 1;
+        let _ = self.ctx.progress(*done, self.total);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job spec.
+
+/// An owned, validated description of one run: which strategy, on which
+/// image, with which budget and observability knobs. Built with a fluent
+/// builder and submitted via [`Engine::submit`].
+pub struct JobSpec {
+    strategy: StrategySpec,
+    image: GrayImage,
+    params: ModelParams,
+    seed: u64,
+    iterations: u64,
+    deadline: Option<Duration>,
+    checkpoint_interval: Option<u64>,
+    progress_stride: u64,
+    observer: Option<Box<Observer>>,
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("strategy", &self.strategy)
+            .field("image", &(self.image.width(), self.image.height()))
+            .field("seed", &self.seed)
+            .field("iterations", &self.iterations)
+            .field("deadline", &self.deadline)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("progress_stride", &self.progress_stride)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobSpec {
+    /// Creates a spec with the default budget (60 000 iterations, seed 0,
+    /// no deadline, no checkpoints).
+    #[must_use]
+    pub fn new(strategy: StrategySpec, image: GrayImage, params: ModelParams) -> Self {
+        Self {
+            strategy,
+            image,
+            params,
+            seed: 0,
+            iterations: 60_000,
+            deadline: None,
+            checkpoint_interval: None,
+            progress_stride: 1024,
+            observer: None,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Bounds the run's wall time, measured from submission; exceeding it
+    /// ends the run with [`RunError::DeadlineExceeded`].
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Requests [`Event::Checkpoint`] snapshots every `iterations`.
+    #[must_use]
+    pub fn checkpoint_interval(mut self, iterations: u64) -> Self {
+        self.checkpoint_interval = Some(iterations.max(1));
+        self
+    }
+
+    /// Sets the iteration stride between progress events / token polls.
+    #[must_use]
+    pub fn progress_stride(mut self, stride: u64) -> Self {
+        self.progress_stride = stride.max(1);
+        self
+    }
+
+    /// Attaches an observer callback (in addition to the handle's event
+    /// channel); called synchronously from the job's threads.
+    #[must_use]
+    pub fn observer(mut self, observer: impl Fn(&Event) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// The strategy this spec runs.
+    #[must_use]
+    pub fn strategy(&self) -> &StrategySpec {
+        &self.strategy
+    }
+
+    /// Checks the spec for impossible workloads (the same check every
+    /// strategy re-runs via `RunRequest::validate`, so submission-time and
+    /// run-time rejection cannot drift apart).
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] for a zero iteration budget, an empty
+    /// image, image/parameter dimension mismatch, or scheme options that
+    /// would panic inside a strategy (see `StrategySpec::validate`).
+    pub fn validate(&self) -> Result<(), RunError> {
+        self.strategy.validate()?;
+        crate::engine::validate_workload(self.iterations, &self.image, &self.params)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine, handle, batch.
+
+/// Opaque identifier of a submitted job, unique per [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// The shared execution service: one [`WorkerPool`] that every submitted
+/// job fans its parallel stages onto. Jobs run on one driver thread each
+/// (so `submit` returns immediately); their *parallel* stages (partition
+/// chains, local phases, chain segments) all queue onto the shared pool,
+/// while a scheme's serial portions (the sequential baseline, periodic's
+/// global phases) execute on the job's own driver thread. Callers bound
+/// total CPU pressure by bounding how many jobs they keep in flight —
+/// submission itself does not throttle.
+pub struct Engine {
+    pool: Arc<WorkerPool>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine with its own pool of `threads` workers.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when `threads` is zero.
+    pub fn new(threads: usize) -> Result<Self, RunError> {
+        if threads == 0 {
+            return Err(RunError::InvalidSpec(
+                "worker count must be at least 1".to_owned(),
+            ));
+        }
+        Ok(Self::with_pool(WorkerPool::shared(threads)))
+    }
+
+    /// Creates an engine on an existing shared pool.
+    #[must_use]
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self {
+            pool,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared worker pool.
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Validates and submits one job; returns immediately with a handle.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when the spec fails validation.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, RunError> {
+        self.spawn(spec, None, 0)
+    }
+
+    /// Validates and submits N jobs as a batch sharing the pool; per-job
+    /// reports stream through [`Batch::next_finished`] as they complete.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when any spec fails validation (no job is
+    /// started in that case). If a job *thread* fails to spawn mid-batch,
+    /// the already-started jobs are cancelled before the error returns.
+    pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Result<Batch, RunError> {
+        for spec in &specs {
+            spec.validate()?;
+        }
+        let (done_tx, done_rx) = unbounded();
+        let mut handles: Vec<JobHandle> = Vec::with_capacity(specs.len());
+        for (idx, spec) in specs.into_iter().enumerate() {
+            match self.spawn(spec, Some(done_tx.clone()), idx) {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    for started in &handles {
+                        started.cancel();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        drop(done_tx);
+        let remaining = handles.len();
+        Ok(Batch {
+            handles,
+            finished: done_rx,
+            remaining,
+        })
+    }
+
+    fn spawn(
+        &self,
+        spec: JobSpec,
+        done: Option<Sender<(usize, Result<RunReport, RunError>)>>,
+        idx: usize,
+    ) -> Result<JobHandle, RunError> {
+        spec.validate()?;
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cancel = CancelToken::new();
+        let token = cancel.clone();
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let pool = Arc::clone(&self.pool);
+        let strategy_name = spec.strategy.name();
+        let thread = std::thread::Builder::new()
+            .name(format!("pmcmc-{id}"))
+            .spawn(move || {
+                let JobSpec {
+                    strategy,
+                    image,
+                    params,
+                    seed,
+                    iterations,
+                    deadline,
+                    checkpoint_interval,
+                    progress_stride,
+                    observer,
+                } = spec;
+                // Fan every event out to the user callback (if any) and the
+                // handle's channel; a dropped handle just disconnects the
+                // channel and sends become no-ops.
+                let forward = move |event: &Event| {
+                    if let Some(cb) = &observer {
+                        cb(event);
+                    }
+                    let _ = event_tx.send(event.clone());
+                };
+                let mut ctx = RunCtx::new()
+                    .with_cancel(token)
+                    .with_observer(forward)
+                    .with_progress_stride(progress_stride);
+                if let Some(d) = deadline {
+                    ctx = ctx.with_deadline(Instant::now() + d);
+                }
+                if let Some(c) = checkpoint_interval {
+                    ctx = ctx.with_checkpoint_interval(c);
+                }
+                let req = RunRequest::new(&image, &params, &pool, seed).iterations(iterations);
+                // Catch strategy panics here so a batch's completion
+                // channel always receives one result per job — a panicked
+                // job surfaces as RunError::Panicked instead of silently
+                // vanishing from the stream.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    strategy.build().run(&req, &ctx)
+                }))
+                .unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(&*payload))));
+                if let Some(tx) = done {
+                    let _ = tx.send((idx, result.clone()));
+                }
+                result
+            })
+            .map_err(|e| RunError::InvalidSpec(format!("failed to spawn job thread: {e}")))?;
+        Ok(JobHandle {
+            id,
+            strategy: strategy_name,
+            cancel,
+            events: event_rx,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// A handle to a submitted job: observe it, cancel it, wait for it.
+///
+/// Dropping a handle without calling [`JobHandle::wait`] detaches the job
+/// (it keeps running to completion on the engine).
+pub struct JobHandle {
+    id: JobId,
+    strategy: &'static str,
+    cancel: CancelToken,
+    events: Receiver<Event>,
+    thread: Option<std::thread::JoinHandle<Result<RunReport, RunError>>>,
+}
+
+impl fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("strategy", &self.strategy)
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// The job's engine-unique id.
+    #[must_use]
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Registry name of the strategy the job runs.
+    #[must_use]
+    pub fn strategy(&self) -> &'static str {
+        self.strategy
+    }
+
+    /// Requests cooperative cancellation; the job winds down at its next
+    /// token poll and [`JobHandle::wait`] returns [`RunError::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of the job's cancel token (e.g. to hand to a timeout task).
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Whether the job's driver thread has finished.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.thread
+            .as_ref()
+            .is_none_or(std::thread::JoinHandle::is_finished)
+    }
+
+    /// The job's event stream. Blocking `recv` returns `Err` once the job
+    /// has finished and all buffered events were drained.
+    #[must_use]
+    pub fn events(&self) -> &Receiver<Event> {
+        &self.events
+    }
+
+    /// Blocks until the job finishes and returns its report.
+    ///
+    /// # Errors
+    /// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] when the
+    /// run stopped early, [`RunError::Panicked`] when the job thread
+    /// panicked, or whatever structured error the strategy returned.
+    pub fn wait(mut self) -> Result<RunReport, RunError> {
+        let thread = self.thread.take().expect("wait consumes the handle");
+        match thread.join() {
+            Ok(result) => result,
+            Err(payload) => Err(RunError::Panicked(panic_message(&payload))),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_owned())
+}
+
+/// N jobs sharing one pool, with per-job reports streamed as they finish.
+pub struct Batch {
+    handles: Vec<JobHandle>,
+    finished: Receiver<(usize, Result<RunReport, RunError>)>,
+    remaining: usize,
+}
+
+impl Batch {
+    /// Number of jobs in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The per-job handles, in submission order (for cancellation or event
+    /// streaming of individual jobs).
+    #[must_use]
+    pub fn handles(&self) -> &[JobHandle] {
+        &self.handles
+    }
+
+    /// Cancels every job in the batch.
+    pub fn cancel_all(&self) {
+        for handle in &self.handles {
+            handle.cancel();
+        }
+    }
+
+    /// Blocks for the next finished job and returns its submission index
+    /// and result; `None` once every job's result has been streamed. Job
+    /// threads report exactly once each — panicking strategies included
+    /// (they stream as [`RunError::Panicked`]) — so a batch of N yields N
+    /// results.
+    pub fn next_finished(&mut self) -> Option<(usize, Result<RunReport, RunError>)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.finished.recv() {
+            Ok(item) => {
+                self.remaining -= 1;
+                Some(item)
+            }
+            // Unreachable in practice (every job thread sends exactly one
+            // result, panics included); kept as a defensive stop so a
+            // harness bug cannot deadlock callers. wait_all() still joins
+            // every handle afterwards.
+            Err(_) => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    /// Drains the batch and returns every result in submission order.
+    #[must_use]
+    pub fn wait_all(mut self) -> Vec<Result<RunReport, RunError>> {
+        let n = self.handles.len();
+        let mut out: Vec<Option<Result<RunReport, RunError>>> = (0..n).map(|_| None).collect();
+        while let Some((idx, result)) = self.next_finished() {
+            out[idx] = Some(result);
+        }
+        for (idx, handle) in self.handles.drain(..).enumerate() {
+            let joined = handle.wait();
+            if out[idx].is_none() {
+                out[idx] = Some(joined);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every job reported"))
+            .collect()
+    }
+}

@@ -20,16 +20,22 @@
 //! * [`report`] — table rendering for the bench harnesses.
 //!
 //! All of the schemes are additionally exposed through the unified
-//! [`engine`] layer: a [`engine::Strategy`] trait with a string-keyed
-//! registry ([`engine::by_name`]) and a shared
-//! [`engine::RunRequest`] → [`engine::RunReport`] shape, so benches,
-//! examples and tests can sweep every scheme through one API.
+//! [`engine`] layer — a typed [`engine::StrategySpec`] (with
+//! `FromStr`/`Display` for CLI round-tripping) builds a
+//! [`engine::Strategy`] running a shared
+//! [`engine::RunRequest`] → [`engine::RunReport`] shape — and through the
+//! service-style [`job`] layer on top of it: an owned, validated
+//! [`job::JobSpec`] submitted onto a shared [`job::Engine`] returns a
+//! [`job::JobHandle`] with live progress [`job::Event`]s, cooperative
+//! cancellation ([`job::CancelToken`]) and structured [`job::RunError`]s;
+//! [`job::Engine::submit_batch`] streams per-job reports across N images.
 
 #![warn(missing_docs)]
 
 pub mod blind;
 pub mod engine;
 pub mod intelligent;
+pub mod job;
 pub mod mc3par;
 pub mod naive;
 pub mod periodic;
@@ -38,15 +44,23 @@ pub mod speculative;
 pub mod subchain;
 pub mod theory;
 
-pub use blind::{run_blind, BlindOptions, BlindResult, DisputePolicy};
+pub use blind::{run_blind, run_blind_ctx, BlindOptions, BlindResult, DisputePolicy};
 pub use engine::{
     by_name, registry, BlindStrategy, IntelligentStrategy, Mc3Strategy, NaiveStrategy,
     PeriodicStrategy, PhaseTiming, RunDiagnostics, RunReport, RunRequest, SequentialStrategy,
-    SpeculativeStrategy, Strategy, Validity, STRATEGY_NAMES,
+    SpeculativeStrategy, Strategy, StrategySpec, Validity, STRATEGY_NAMES,
 };
-pub use intelligent::{run_intelligent, IntelligentPartitioner, IntelligentResult};
-pub use mc3par::{run_mc3_parallel, Mc3Report};
-pub use naive::{run_naive, NaiveOptions, NaivePrior, NaiveResult};
+pub use intelligent::{
+    run_intelligent, run_intelligent_ctx, IntelligentPartitioner, IntelligentResult,
+};
+pub use job::{
+    Batch, CancelToken, Checkpointer, Engine, Event, JobHandle, JobId, JobSpec, ProgressCounter,
+    RunCtx, RunError,
+};
+pub use mc3par::{run_mc3_parallel, run_mc3_parallel_ctx, Mc3Report};
+pub use naive::{run_naive, run_naive_ctx, NaiveOptions, NaivePrior, NaiveResult};
 pub use periodic::{PartitionScheme, PeriodicOptions, PeriodicReport, PeriodicSampler};
 pub use speculative::{SpeculativeEngine, SpeculativeSampler};
-pub use subchain::{eq5_estimate, run_partition_chain, SubChainOptions, SubChainResult};
+pub use subchain::{
+    eq5_estimate, run_partition_chain, run_partition_chain_ctx, SubChainOptions, SubChainResult,
+};

@@ -6,6 +6,7 @@
 //! chain owns its RNG stream and swap decisions consume the ensemble's own
 //! stream, the parallel schedule is bit-identical to the sequential one.
 
+use crate::job::{RunCtx, RunError};
 use pmcmc_core::Mc3;
 use pmcmc_runtime::WorkerPool;
 use std::time::{Duration, Instant};
@@ -30,8 +31,32 @@ pub fn run_mc3_parallel(
     segments: u64,
     segment_len: u64,
 ) -> Mc3Report {
+    run_mc3_parallel_ctx(mc3, pool, segments, segment_len, &RunCtx::default())
+        .expect("a detached context never stops a run")
+}
+
+/// Runs like [`run_mc3_parallel`] under a [`RunCtx`]: the cancel token and
+/// deadline are polled once per segment (chains are never interrupted
+/// mid-segment, so the ensemble stays on its bit-exact schedule up to the
+/// stopping point) and per-chain iteration progress is emitted after every
+/// swap attempt.
+///
+/// # Errors
+/// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] when the
+/// context stops the run between segments; `completed_iterations` counts
+/// per-chain iterations.
+pub fn run_mc3_parallel_ctx(
+    mc3: &mut Mc3<'_>,
+    pool: &WorkerPool,
+    segments: u64,
+    segment_len: u64,
+    ctx: &RunCtx,
+) -> Result<Mc3Report, RunError> {
     let start = Instant::now();
-    for _ in 0..segments {
+    ctx.phase("segments");
+    let total = segments * segment_len;
+    let mut checkpoints = ctx.checkpointer();
+    for segment in 0..segments {
         let tasks: Vec<(f64, _)> = mc3
             .chains_mut()
             .iter_mut()
@@ -44,12 +69,18 @@ pub fn run_mc3_parallel(
             .collect();
         pool.run_batch(tasks);
         mc3.attempt_swap();
+        let done = (segment + 1) * segment_len;
+        ctx.progress(done, total)?;
+        if checkpoints.due(done) {
+            let cold = mc3.cold();
+            ctx.checkpoint(done, cold.config.len(), cold.log_posterior());
+        }
     }
-    Mc3Report {
+    Ok(Mc3Report {
         segments,
         iters_per_chain: segments * segment_len,
         total_time: start.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]

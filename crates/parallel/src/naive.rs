@@ -12,7 +12,8 @@
 //! eq. (5) estimate. Benches compare its anomaly counts against blind
 //! partitioning on the same scenes.
 
-use crate::subchain::{run_partition_chain, SubChainOptions, SubChainResult};
+use crate::job::{RunCtx, RunError};
+use crate::subchain::{run_partition_chain_ctx, SubChainOptions, SubChainResult};
 use pmcmc_core::rng::derive_seed;
 use pmcmc_core::ModelParams;
 use pmcmc_imaging::{regular_tiles, Circle, GrayImage};
@@ -31,7 +32,7 @@ pub enum NaivePrior {
 }
 
 /// Naive-partitioning options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NaiveOptions {
     /// Grid columns.
     pub cols: u32,
@@ -74,17 +75,46 @@ pub fn run_naive(
     pool: &WorkerPool,
     seed: u64,
 ) -> NaiveResult {
+    run_naive_ctx(img, base, opts, pool, seed, &RunCtx::default())
+        .expect("a detached context never stops a run")
+}
+
+/// Runs like [`run_naive`] under a [`RunCtx`]: phase and per-partition
+/// progress events are emitted (progress counts completed partitions) and
+/// the cancel token / deadline propagate into every partition chain.
+///
+/// # Errors
+/// [`RunError::Cancelled`] / [`RunError::DeadlineExceeded`] when the
+/// context stops the run; `completed_iterations` sums the iterations the
+/// partition chains had executed before winding down.
+pub fn run_naive_ctx(
+    img: &GrayImage,
+    base: &ModelParams,
+    opts: &NaiveOptions,
+    pool: &WorkerPool,
+    seed: u64,
+    ctx: &RunCtx,
+) -> Result<NaiveResult, RunError> {
     let tiles = regular_tiles(img.width(), img.height(), opts.cols, opts.rows);
     let n = tiles.len();
     let t0 = Instant::now();
+    ctx.phase("chains");
+    let progress = ctx.partition_progress(tiles.len() as u64);
     let tasks: Vec<(f64, _)> = tiles
         .iter()
         .enumerate()
         .map(|(i, &rect)| {
             let weight = rect.area() as f64;
+            let progress = &progress;
             let task = move || {
-                let mut res =
-                    run_partition_chain(img, rect, base, &opts.chain, derive_seed(seed, i as u64));
+                let mut res = run_partition_chain_ctx(
+                    img,
+                    rect,
+                    base,
+                    &opts.chain,
+                    derive_seed(seed, i as u64),
+                    ctx,
+                );
                 if opts.prior == NaivePrior::UniformSplit {
                     // Re-run with the misallocated prior: the point of this
                     // branch is to reproduce the failure mode, so we build
@@ -98,7 +128,10 @@ pub fn run_naive(
                     let model = pmcmc_core::NucleiModel::new(&crop, params);
                     let mut sampler =
                         pmcmc_core::Sampler::new_empty(&model, derive_seed(seed, 100 + i as u64));
-                    sampler.run(res.iterations.max(5_000));
+                    let budget = res.iterations.max(5_000);
+                    while sampler.iterations() < budget && !ctx.stopped() {
+                        sampler.run(1_000.min(budget - sampler.iterations()));
+                    }
                     res.detected = sampler
                         .config
                         .circles()
@@ -107,6 +140,7 @@ pub fn run_naive(
                         .collect();
                     res.expected_count = split_expected;
                 }
+                progress.tick();
                 res
             };
             (weight, task)
@@ -114,15 +148,16 @@ pub fn run_naive(
         .collect();
     let partitions = pool.run_batch(tasks);
     let chains_time = t0.elapsed();
+    ctx.should_stop(partitions.iter().map(|p| p.iterations).sum())?;
     let merged = partitions
         .iter()
         .flat_map(|p| p.detected.iter().copied())
         .collect();
-    NaiveResult {
+    Ok(NaiveResult {
         partitions,
         merged,
         chains_time,
-    }
+    })
 }
 
 #[cfg(test)]

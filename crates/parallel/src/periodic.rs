@@ -48,7 +48,7 @@ impl PartitionScheme {
 }
 
 /// Configuration of the periodic-partitioning sampler.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeriodicOptions {
     /// Iterations per global (`Mg`) phase.
     pub global_phase_iters: u64,
@@ -218,6 +218,25 @@ impl<'m> PeriodicSampler<'m> {
     /// Runs at least `total_iters` iterations (whole cycles; may overshoot
     /// by at most one cycle) and reports phase timings.
     pub fn run(&mut self, total_iters: u64) -> PeriodicReport {
+        self.run_ctx(total_iters, &crate::job::RunCtx::default())
+            .expect("a detached context never stops a run")
+    }
+
+    /// Runs like [`PeriodicSampler::run`] under a [`crate::job::RunCtx`]:
+    /// the cancel token and deadline are polled once per global/local
+    /// cycle, and progress/checkpoint events are emitted at the same
+    /// granularity.
+    ///
+    /// # Errors
+    /// [`crate::job::RunError::Cancelled`] /
+    /// [`crate::job::RunError::DeadlineExceeded`] when the context stops
+    /// the run between cycles (the master configuration stays consistent —
+    /// cycles are never interrupted midway).
+    pub fn run_ctx(
+        &mut self,
+        total_iters: u64,
+        ctx: &crate::job::RunCtx,
+    ) -> Result<PeriodicReport, crate::job::RunError> {
         let mut report = PeriodicReport::default();
         let start = Instant::now();
         let qg = self.weights.qg();
@@ -229,12 +248,23 @@ impl<'m> PeriodicSampler<'m> {
         } else {
             i_g
         };
+        ctx.phase("cycles");
+        let mut checkpoints = ctx.checkpointer();
         while report.total_iters() < total_iters {
             self.run_cycle(i_g, i_l, &mut report);
             report.cycles += 1;
+            let done = report.total_iters();
+            ctx.progress(done, total_iters)?;
+            if checkpoints.due(done) {
+                ctx.checkpoint(
+                    done,
+                    self.master.config.len(),
+                    self.master.config.log_posterior(self.model),
+                );
+            }
         }
         report.total_time = start.elapsed();
-        report
+        Ok(report)
     }
 
     fn run_cycle(&mut self, i_g: u64, i_l: u64, report: &mut PeriodicReport) {

@@ -71,17 +71,35 @@ impl Table {
         out
     }
 
-    /// Renders as CSV (headers + rows).
+    /// Renders as RFC-4180-style CSV (headers + rows): cells containing a
+    /// comma, double quote, or newline are wrapped in double quotes with
+    /// embedded quotes doubled; all other cells render verbatim.
     #[must_use]
     pub fn to_csv(&self) -> String {
+        let fmt_line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .map(|c| csv_escape(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         let mut out = String::new();
-        out.push_str(&self.headers.join(","));
+        out.push_str(&fmt_line(&self.headers));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&row.join(","));
+            out.push_str(&fmt_line(row));
             out.push('\n');
         }
         out
+    }
+}
+
+/// Quotes a CSV cell when it contains a delimiter, quote or newline.
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_owned()
     }
 }
 
@@ -127,6 +145,40 @@ mod tests {
         assert_eq!(t.to_csv(), "a,b\n1,2\n");
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quotes_delimiters_quotes_and_newlines() {
+        let mut t = Table::new("q", &["plain", "with,comma"]);
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        t.push_row(vec!["line1\nline2".into(), "clean".into()]);
+        assert_eq!(
+            t.to_csv(),
+            "plain,\"with,comma\"\n\"a,b\",\"say \"\"hi\"\"\"\n\"line1\nline2\",clean\n"
+        );
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = Table::new("empty", &["a", "bb"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let s = t.render();
+        assert!(s.contains("== empty =="));
+        assert!(s.contains("a  bb"));
+        // Title, header row, separator — and nothing else.
+        assert_eq!(s.lines().count(), 3);
+        assert_eq!(t.to_csv(), "a,bb\n");
+    }
+
+    #[test]
+    fn single_column_table_renders() {
+        let mut t = Table::new("one", &["only"]);
+        t.push_row(vec!["x".into()]);
+        let s = t.render();
+        assert!(s.contains("only"));
+        assert!(s.contains('x'));
+        assert_eq!(t.to_csv(), "only\nx\n");
     }
 
     #[test]

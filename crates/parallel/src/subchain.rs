@@ -22,7 +22,7 @@ pub fn eq5_estimate(thresholded_pixels: usize, radius_mean: f64) -> f64 {
 }
 
 /// Options for a partition chain.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SubChainOptions {
     /// Threshold θ for the eq. (5) estimator.
     pub theta: f32,
@@ -96,6 +96,25 @@ pub fn run_partition_chain(
     opts: &SubChainOptions,
     seed: u64,
 ) -> SubChainResult {
+    run_partition_chain_ctx(img, rect, base, opts, seed, &crate::job::RunCtx::default())
+}
+
+/// Runs like [`run_partition_chain`] under a [`crate::job::RunCtx`]: the
+/// cancel token / deadline are polled at every convergence-check stride
+/// (so a running chain stops within `conv_stride` iterations of the token
+/// firing), and [`crate::job::Event::Converged`] is emitted when the
+/// detector fires. A stopped chain returns its partial result — the
+/// caller (the strategy adapters) decides whether that becomes a
+/// structured error.
+#[must_use]
+pub fn run_partition_chain_ctx(
+    img: &GrayImage,
+    rect: Rect,
+    base: &ModelParams,
+    opts: &SubChainOptions,
+    seed: u64,
+    ctx: &crate::job::RunCtx,
+) -> SubChainResult {
     let rect = rect.intersect(&img.frame());
     let crop = img.crop(&rect);
     let mask = threshold(&crop, opts.theta);
@@ -112,7 +131,7 @@ pub fn run_partition_chain(
     let mut sampler = Sampler::new_empty(&model, seed);
     let mut detector = ConvergenceDetector::new(opts.conv_window, opts.conv_tol);
     let mut converged_at = None;
-    while sampler.iterations() < opts.max_iters {
+    while sampler.iterations() < opts.max_iters && !ctx.stopped() {
         sampler.run(opts.conv_stride);
         if detector.push(sampler.iterations(), sampler.log_posterior()) {
             converged_at = detector.converged_at();
@@ -120,9 +139,12 @@ pub fn run_partition_chain(
         }
     }
     if let Some(at) = converged_at {
+        ctx.converged(at);
         // Settle briefly at the mode so the sampled state is representative.
         let settle = ((at as f64) * opts.settle_frac) as u64;
-        sampler.run(settle);
+        if !ctx.stopped() {
+            sampler.run(settle);
+        }
     }
     let runtime = start.elapsed();
 

@@ -76,6 +76,15 @@ impl WorkerPool {
         }
     }
 
+    /// Spawns a pool wrapped in an [`Arc`] — the shape the job engine
+    /// shares one pool across concurrently running jobs. Batches from
+    /// different threads interleave safely: each `run_batch` call collects
+    /// results on its own private channel.
+    #[must_use]
+    pub fn shared(threads: usize) -> Arc<Self> {
+        Arc::new(Self::new(threads))
+    }
+
     /// Number of worker threads.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -303,6 +312,30 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         });
         assert!(pool.stats().busy_nanos >= 4 * 4_000_000);
+    }
+
+    #[test]
+    fn concurrent_batches_from_multiple_threads_do_not_cross_talk() {
+        // The job engine's usage pattern: several driver threads fan their
+        // own batches onto one shared pool concurrently. Every batch must
+        // get exactly its own results back, in its own task order.
+        let pool = WorkerPool::shared(3);
+        let mut drivers = Vec::new();
+        for driver in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            drivers.push(std::thread::spawn(move || {
+                for round in 0..10u64 {
+                    let base = driver * 1_000 + round * 100;
+                    let items: Vec<u64> = (base..base + 20).collect();
+                    let out = pool.map(items.clone(), |x| x * 2);
+                    assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+                }
+            }));
+        }
+        for d in drivers {
+            d.join().expect("driver thread");
+        }
+        assert_eq!(pool.stats().tasks, 4 * 10 * 20);
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //! `cell_overlay.ppm` into the working directory (green = ground truth,
 //! red = detections).
 //!
+//! This example stays on the scheme-agnostic `Sampler` layer because it
+//! collects traces and posterior samples the uniform report does not
+//! carry; for service-style runs use the job API (see
+//! `examples/strategy_sweep.rs`).
+//!
 //! Run with: `cargo run --release --example cell_detection [seed]`
+//! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
 
 use pmcmc::core::SampleCollector;
 use pmcmc::imaging::color::{emphasize_color, render_stained};
@@ -72,7 +78,12 @@ fn main() {
     let mut collector = SampleCollector::new(384, 384, 4, 250);
     let mut detector = ConvergenceDetector::new(20, 0.5);
     let mut converged = None;
-    while sampler.iterations() < 300_000 {
+    let budget: u64 = if std::env::var_os("PMCMC_QUICK").is_some() {
+        40_000
+    } else {
+        300_000
+    };
+    while sampler.iterations() < budget {
         sampler.run_observed(2_000, 500, |it, cfg, lp| {
             trace.push(it, cfg.len(), lp);
             if converged.is_some() {

@@ -1,12 +1,14 @@
 //! Metropolis-coupled MCMC (§IV related work): heated chains help the cold
 //! chain escape local optima on an ambiguous scene — compared against a
-//! single chain through the unified `Strategy` engine.
+//! single chain, both driven through the typed job API (`StrategySpec` →
+//! `JobSpec` → `JobHandle`).
 //!
 //! The scene contains overlapping circle pairs — the paper's example of
 //! MCMC "identifying similar but distinct solutions (is an artifact in a
 //! blood sample one blood cell or two overlapping cells)".
 //!
 //! Run with: `cargo run --release --example mc3_modes`
+//! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
 
 use pmcmc::prelude::*;
 
@@ -31,13 +33,24 @@ fn main() {
     let image = scene.render(&mut rng);
 
     let params = ModelParams::new(256, 256, 8.0, 8.0);
-    let budget = 120_000u64;
+    let budget: u64 = if std::env::var_os("PMCMC_QUICK").is_some() {
+        12_000
+    } else {
+        120_000
+    };
     let n_chains = 4usize;
-    let pool = WorkerPool::new(n_chains);
+    let engine = Engine::new(n_chains).expect("worker count is positive");
 
     // Single cold chain: the full budget through the sequential strategy.
-    let seq_req = RunRequest::new(&image, &params, &pool, 21).iterations(budget);
-    let single = by_name("sequential").unwrap().run(&seq_req);
+    let single = engine
+        .submit(
+            JobSpec::new(StrategySpec::Sequential, image.clone(), params.clone())
+                .seed(21)
+                .iterations(budget),
+        )
+        .expect("spec validates")
+        .wait()
+        .expect("sequential run completes");
     println!(
         "single chain:   log-posterior {:.1}, {} circles, acceptance {:.1}%",
         single.diagnostics.log_posterior,
@@ -47,13 +60,22 @@ fn main() {
 
     // (MC)^3 with 4 chains sharing the same *total* budget: each chain
     // gets budget / n_chains iterations, segments fan out on the pool.
-    let mc3 = Mc3Strategy {
-        chains: n_chains,
-        heat: 0.4,
-        segment_len: budget / (n_chains as u64 * 60),
-    };
-    let mc3_req = RunRequest::new(&image, &params, &pool, 21).iterations(budget / n_chains as u64);
-    let coupled = mc3.run(&mc3_req);
+    // The spec round-trips through its CLI spelling.
+    let mc3_spec: StrategySpec = format!(
+        "mc3:chains={n_chains},segment={}",
+        budget / (n_chains as u64 * 60)
+    )
+    .parse()
+    .expect("valid spelling");
+    let coupled = engine
+        .submit(
+            JobSpec::new(mc3_spec, image, params)
+                .seed(21)
+                .iterations(budget / n_chains as u64),
+        )
+        .expect("spec validates")
+        .wait()
+        .expect("(MC)^3 run completes");
     println!(
         "(MC)^3 cold:    log-posterior {:.1}, {} circles, {}",
         coupled.diagnostics.log_posterior,

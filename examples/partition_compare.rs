@@ -5,7 +5,13 @@
 //! (intelligent partition corridors) and `fig4_blind.ppm` (blind grid,
 //! overlap bands, merged detections).
 //!
+//! This example stays on the scheme-specific `run_intelligent`/`run_blind`
+//! layers because it reads per-partition geometry the uniform report does
+//! not carry; for service-style runs use the job API (see
+//! `examples/strategy_sweep.rs`).
+//!
 //! Run with: `cargo run --release --example partition_compare`
+//! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
 
 use pmcmc::imaging::filter::threshold;
 use pmcmc::imaging::io::{colors, save_mask_pgm, save_pgm, RgbImage};
@@ -61,7 +67,14 @@ fn main() {
         spec.radius_max,
     );
     let pool = WorkerPool::new(4);
-    let chain = SubChainOptions::default();
+    let chain = SubChainOptions {
+        max_iters: if std::env::var_os("PMCMC_QUICK").is_some() {
+            30_000
+        } else {
+            SubChainOptions::default().max_iters
+        },
+        ..SubChainOptions::default()
+    };
 
     // --- Intelligent partitioning (Fig. 3).
     let partitioner = IntelligentPartitioner::default();

@@ -1,17 +1,24 @@
 //! Periodic partitioning (§V) versus the sequential baseline: same
 //! iteration budget, measured wall time, plus the eq. (2) prediction —
-//! both schemes driven through the unified `Strategy` engine.
+//! both schemes driven through the typed job API (one `Engine` per pool
+//! size, one `JobSpec` per run).
 //!
 //! Run with: `cargo run --release --example periodic_speedup [iters]`
+//! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
 
 use pmcmc::parallel::theory::eq2_fraction;
 use pmcmc::prelude::*;
 
 fn main() {
+    let default_iters: u64 = if std::env::var_os("PMCMC_QUICK").is_some() {
+        20_000
+    } else {
+        200_000
+    };
     let iters: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(200_000);
+        .unwrap_or(default_iters);
 
     // The §VII workload scaled to a quick demo: a cell field with q_g = 0.4.
     let spec = SceneSpec {
@@ -30,10 +37,17 @@ fn main() {
     let image = scene.render(&mut rng);
     let params = ModelParams::new(512, 512, 60.0, 10.0);
 
-    // Sequential baseline through the engine.
-    let baseline_pool = WorkerPool::new(1);
-    let seq_req = RunRequest::new(&image, &params, &baseline_pool, 5).iterations(iters);
-    let seq = by_name("sequential").unwrap().run(&seq_req);
+    // Sequential baseline on a single-worker engine.
+    let baseline = Engine::new(1).expect("worker count is positive");
+    let seq = baseline
+        .submit(
+            JobSpec::new(StrategySpec::Sequential, image.clone(), params.clone())
+                .seed(5)
+                .iterations(iters),
+        )
+        .expect("spec validates")
+        .wait()
+        .expect("sequential run completes");
     let t_seq = seq.total_time;
     println!(
         "sequential: {iters} iterations in {:.2}s ({} circles)",
@@ -41,20 +55,25 @@ fn main() {
         seq.detected().len()
     );
 
-    // Periodic partitioning with the §VII corner scheme: same request
-    // shape, swept over pool sizes. The strategy adapter runs its local
-    // phases on the request's shared pool.
+    // Periodic partitioning with the §VII corner scheme: the same job
+    // shape, swept over pool sizes. The strategy runs its local phases on
+    // the engine's shared pool.
+    let periodic = StrategySpec::Periodic(PeriodicOptions {
+        global_phase_iters: 256,
+        scheme: PartitionScheme::Corner,
+        ..PeriodicOptions::default()
+    });
     for threads in [2usize, 4] {
-        let pool = WorkerPool::new(threads);
-        let req = RunRequest::new(&image, &params, &pool, 5).iterations(iters);
-        let strategy = PeriodicStrategy {
-            options: PeriodicOptions {
-                global_phase_iters: 256,
-                scheme: PartitionScheme::Corner,
-                ..PeriodicOptions::default()
-            },
-        };
-        let report = strategy.run(&req);
+        let engine = Engine::new(threads).expect("worker count is positive");
+        let report = engine
+            .submit(
+                JobSpec::new(periodic, image.clone(), params.clone())
+                    .seed(5)
+                    .iterations(iters),
+            )
+            .expect("spec validates")
+            .wait()
+            .expect("periodic run completes");
         let frac = report.total_time.as_secs_f64() / t_seq.as_secs_f64();
         let phase = |name: &str| report.phase(name).map_or(0.0, |d| d.as_secs_f64());
         println!(

@@ -1,12 +1,21 @@
-//! Quickstart: detect circles in a synthetic cell image with the
-//! sequential RJMCMC sampler, score against ground truth, then run the
-//! same workload through the unified `Strategy` engine.
+//! Quickstart: detect circles in a synthetic cell image through the typed
+//! job API — build a `JobSpec`, submit it onto a shared `Engine`, watch
+//! the run through its `JobHandle` (events, cancellation, structured
+//! errors), then score the report against ground truth.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
 
 use pmcmc::prelude::*;
+use std::time::Duration;
 
 fn main() {
+    let budget: u64 = if std::env::var_os("PMCMC_QUICK").is_some() {
+        8_000
+    } else {
+        80_000
+    };
+
     // 1. A synthetic "stained nuclei" scene: 20 cells of mean radius 9 on a
     //    256x256 image, with noise.
     let spec = SceneSpec {
@@ -25,63 +34,78 @@ fn main() {
     let image = scene.render(&mut rng);
     println!("planted {} circles", scene.circles.len());
 
-    // 2. The Bayesian model of §III: Poisson count prior, truncated-normal
-    //    radius prior, overlap penalty, two-level Gaussian likelihood.
+    // 2. One engine = one shared worker pool; every job submitted to it
+    //    fans its parallel stages onto the same workers.
+    let engine = Engine::new(4).expect("worker count is positive");
     let params = ModelParams::new(256, 256, 20.0, 9.0);
-    let model = NucleiModel::new(&image, params);
 
-    // 3. Run the chain with a convergence detector.
-    let mut sampler = Sampler::new_empty(&model, 1);
-    let mut detector = ConvergenceDetector::new(20, 0.5);
-    while sampler.iterations() < 200_000 {
-        sampler.run(500);
-        if detector.push(sampler.iterations(), sampler.log_posterior()) {
-            break;
+    // 3. Describe the work as a typed JobSpec. Strategies are typed specs
+    //    too — parse one from its CLI spelling, options included.
+    let strategy: StrategySpec = "periodic:global=128".parse().expect("valid spelling");
+    let job = JobSpec::new(strategy, image.clone(), params.clone())
+        .seed(1)
+        .iterations(budget)
+        .checkpoint_interval(budget / 4)
+        .deadline(Duration::from_secs(600));
+    let handle = engine.submit(job).expect("spec validates");
+    println!("submitted {} as {}", handle.strategy(), handle.id());
+
+    // 4. Observe the run live: the handle streams phase/progress/checkpoint
+    //    events until the job finishes.
+    while let Ok(event) = handle.events().recv() {
+        if let Event::Checkpoint {
+            iterations,
+            circles,
+            log_posterior,
+        } = event
+        {
+            println!(
+                "  checkpoint @{iterations}: {circles} circles, log-posterior {log_posterior:.1}"
+            );
         }
     }
+    let report = handle.wait().expect("run completed");
     println!(
-        "converged after {} iterations (acceptance rate {:.1}%)",
-        sampler.iterations(),
-        100.0 * sampler.stats.acceptance_rate()
+        "{} ({}) ran {} iterations in {:.2}s (acceptance {:.1}%)",
+        report.strategy,
+        report.validity.label(),
+        report.iterations,
+        report.total_time.as_secs_f64(),
+        100.0 * report.diagnostics.acceptance_rate.unwrap_or(0.0)
     );
 
-    // 4. Score the detections.
-    let result = match_circles(&scene.circles, sampler.config.circles(), 5.0);
+    // 5. Score the detections.
+    let result = match_circles(&scene.circles, report.detected(), 5.0);
     println!(
         "detected {} circles: precision {:.2}, recall {:.2}, F1 {:.2}, position RMSE {:.2}px",
-        sampler.config.len(),
+        report.detected().len(),
         result.precision(),
         result.recall(),
         result.f1(),
         result.position_rmse()
     );
-    for kind in MoveKind::ALL {
-        let c = sampler.stats.kind(kind);
-        if c.proposed > 0 {
-            println!(
-                "  {:<9} proposed {:>6}  accepted {:>6} ({:.1}%)",
-                kind.label(),
-                c.proposed,
-                c.accepted,
-                100.0 * c.accepted as f64 / c.proposed as f64
-            );
-        }
+
+    // 6. Structured errors instead of panics: impossible workloads are
+    //    rejected up front…
+    let invalid = JobSpec::new(StrategySpec::Sequential, image.clone(), params.clone());
+    match engine.submit(invalid.iterations(0)) {
+        Err(RunError::InvalidSpec(msg)) => println!("rejected as expected: {msg}"),
+        other => println!("unexpected: {other:?}"),
     }
 
-    // 5. The same workload through the unified engine: any registered
-    //    scheme is one `by_name` away (see `examples/strategy_sweep.rs`
-    //    for the full registry sweep).
-    let pool = WorkerPool::new(4);
-    let req = RunRequest::new(&image, &model.params, &pool, 1).iterations(sampler.iterations());
-    let report = by_name("periodic")
-        .expect("periodic is registered")
-        .run(&req);
-    let m = match_circles(&scene.circles, report.detected(), 5.0);
-    println!(
-        "engine: periodic ({}) found {} circles in {:.2}s, F1 {:.2}",
-        report.validity.label(),
-        report.detected().len(),
-        report.total_time.as_secs_f64(),
-        m.f1()
-    );
+    // …and running jobs cancel cooperatively.
+    let long_job = JobSpec::new(StrategySpec::Sequential, image, params)
+        .seed(2)
+        .iterations(50_000_000)
+        .progress_stride(512);
+    let handle = engine.submit(long_job).expect("spec validates");
+    // First progress event = the chain is running; then pull the plug.
+    let _ = handle.events().recv();
+    handle.cancel();
+    match handle.wait() {
+        Err(RunError::Cancelled {
+            completed_iterations,
+        }) => println!("cancelled cooperatively after {completed_iterations} iterations"),
+        other => println!("unexpected: {other:?}"),
+    }
 }

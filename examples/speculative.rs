@@ -1,17 +1,28 @@
 //! Speculative moves ([11]): measured iterations-per-round and wall-time
 //! speedup versus the (1 − p_r)/(1 − p_rⁿ) prediction of §VI.
 //!
+//! This example stays on the scheme-specific [`SpeculativeSampler`] layer
+//! because it reads per-round statistics the uniform report does not
+//! carry; for service-style runs use `StrategySpec::Speculative` through
+//! the job API (see `examples/strategy_sweep.rs`).
+//!
 //! Run with: `cargo run --release --example speculative [iters]`
+//! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
 
 use pmcmc::parallel::theory::{speculative_fraction, speculative_iters_per_round};
 use pmcmc::prelude::*;
 use std::time::Instant;
 
 fn main() {
+    let default_iters: u64 = if std::env::var_os("PMCMC_QUICK").is_some() {
+        10_000
+    } else {
+        100_000
+    };
     let iters: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+        .unwrap_or(default_iters);
 
     let spec = SceneSpec {
         width: 384,

@@ -1,17 +1,28 @@
-//! Sweep every registered parallelisation strategy through the unified
-//! engine on one shared scene, and print the comparison table the paper
-//! is about: detection quality, runtime, phase breakdown and statistical
-//! validity, side by side.
+//! Sweep every registered parallelisation strategy through the job API on
+//! one shared scene, with live progress events, and print the comparison
+//! table the paper is about: detection quality, runtime, phase breakdown
+//! and statistical validity, side by side.
+//!
+//! Each scheme becomes one `JobSpec` submitted onto a shared `Engine`;
+//! the returned `JobHandle` streams `Event`s (phases, progress,
+//! convergence, checkpoints) while the job runs, then resolves to the
+//! uniform `RunReport`.
 //!
 //! Run with: `cargo run --release --example strategy_sweep [iters]`
+//! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
 
 use pmcmc::prelude::*;
 
 fn main() {
+    let default_iters: u64 = if std::env::var_os("PMCMC_QUICK").is_some() {
+        6_000
+    } else {
+        60_000
+    };
     let iters: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(60_000);
+        .unwrap_or(default_iters);
 
     // The shared workload: 12 cells on 192², moderate noise (the same
     // scene the integration tests sweep).
@@ -33,10 +44,8 @@ fn main() {
     let mut params = ModelParams::new(192, 192, truth.len() as f64, 8.0);
     params.noise_sd = 0.15;
 
-    // One request shared by every strategy: same image, same parameters,
-    // same worker pool, same seed, same iteration budget.
-    let pool = WorkerPool::new(4);
-    let req = RunRequest::new(&image, &params, &pool, 7).iterations(iters);
+    // One engine shared by every job: same pool, same seed, same budget.
+    let engine = Engine::new(4).expect("worker count is positive");
 
     println!(
         "scene: {} planted circles on {}x{}; budget {} iterations; pool of {} workers",
@@ -44,7 +53,7 @@ fn main() {
         spec.width,
         spec.height,
         iters,
-        pool.threads()
+        engine.pool().threads()
     );
     println!();
     println!(
@@ -53,8 +62,35 @@ fn main() {
     );
     println!("{}", "-".repeat(88));
 
-    for strategy in registry() {
-        let report = strategy.run(&req);
+    for strategy in StrategySpec::all() {
+        let name = strategy.name();
+        let job = JobSpec::new(strategy, image.clone(), params.clone())
+            .seed(7)
+            .iterations(iters)
+            .progress_stride(iters / 4)
+            .checkpoint_interval(iters / 2);
+        let handle = engine.submit(job).expect("job spec is valid");
+
+        // Stream the job's events live while it runs; the channel
+        // disconnects when the job finishes.
+        while let Ok(event) = handle.events().recv() {
+            match event {
+                Event::PhaseStarted { phase } => eprintln!("  [{name}] phase {phase}"),
+                Event::Progress { done, total } => {
+                    eprintln!("  [{name}] {done}/{total}");
+                }
+                Event::Converged { at } => eprintln!("  [{name}] converged at {at}"),
+                Event::Checkpoint {
+                    iterations,
+                    circles,
+                    log_posterior,
+                } => eprintln!(
+                    "  [{name}] checkpoint @{iterations}: {circles} circles, logpost {log_posterior:.1}"
+                ),
+            }
+        }
+
+        let report = handle.wait().expect("sweep jobs run to completion");
         let m = match_circles(truth, report.detected(), 5.0);
         let phases: Vec<String> = report
             .phases

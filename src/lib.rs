@@ -9,7 +9,7 @@
 //! — along the data axis, and this workspace implements all of it behind
 //! one engine:
 //!
-//! | Strategy name | Module | Statistical validity |
+//! | Strategy spec | Module | Statistical validity |
 //! |---|---|---|
 //! | `sequential` (baseline) | [`core::sampler`] | exact |
 //! | `periodic` (§V) | [`parallel::periodic`] | exact |
@@ -19,48 +19,79 @@
 //! | `blind` (§VIII) | [`parallel::blind`] | heuristic |
 //! | `naive` (anti-baseline, §II) | [`parallel::naive`] | broken (by design) |
 //!
-//! ## Quickstart: the `Strategy` engine
+//! ## Quickstart: jobs on the engine
 //!
-//! Every scheme is runnable through the unified engine in
-//! [`parallel::engine`]: build one [`RunRequest`](prelude::RunRequest),
-//! pick strategies from the registry (or by name), and compare the
-//! uniform [`RunReport`](prelude::RunReport)s:
+//! Work is described by a typed [`JobSpec`](prelude::JobSpec) — which
+//! strategy (a [`StrategySpec`](prelude::StrategySpec) variant, or its CLI
+//! spelling like `"mc3:chains=4"`), which image, seed, iteration budget,
+//! optional deadline and checkpoint interval — and submitted onto a shared
+//! [`Engine`](prelude::Engine). The returned
+//! [`JobHandle`](prelude::JobHandle) streams progress
+//! [`Event`](prelude::Event)s, supports cooperative cancellation, and
+//! resolves to `Result<RunReport, RunError>`:
 //!
 //! ```
 //! use pmcmc::prelude::*;
 //!
 //! // Generate a synthetic cell image with known ground truth.
-//! let spec = SceneSpec { width: 128, height: 128, n_circles: 6, ..SceneSpec::default() };
+//! let spec = SceneSpec { width: 96, height: 96, n_circles: 4, ..SceneSpec::default() };
 //! let mut rng = Xoshiro256::new(7);
 //! let scene = generate(&spec, &mut rng);
 //! let image = scene.render(&mut rng);
+//! let params = ModelParams::new(96, 96, 4.0, 9.0);
 //!
-//! // One request shared by every scheme: image, model parameters,
-//! // worker pool, seed, iteration budget.
-//! let params = ModelParams::new(128, 128, 6.0, 10.0);
-//! let pool = WorkerPool::new(4);
-//! let req = RunRequest::new(&image, &params, &pool, 42).iterations(10_000);
+//! // One engine, one shared worker pool, any number of jobs.
+//! let engine = Engine::new(2).unwrap();
 //!
-//! // Run one scheme by name…
-//! let report = by_name("periodic").unwrap().run(&req);
-//! println!("periodic found {} circles", report.detected().len());
+//! // Submit a job and observe it while it runs.
+//! let strategy: StrategySpec = "periodic".parse().unwrap();
+//! let job = JobSpec::new(strategy, image.clone(), params.clone())
+//!     .seed(42)
+//!     .iterations(3_000)
+//!     .checkpoint_interval(1_000);
+//! let handle = engine.submit(job).unwrap();
+//! while let Ok(event) = handle.events().recv() {
+//!     if let Event::Checkpoint { iterations, circles, .. } = event {
+//!         println!("{iterations} iterations in, {circles} circles");
+//!     }
+//! }
+//! let report = handle.wait().unwrap();
 //! assert!(report.validity.is_exact());
 //!
-//! // …or sweep the whole registry.
-//! for strategy in registry() {
-//!     let report = strategy.run(&req);
-//!     println!("{:<12} {} circles", report.strategy, report.detected().len());
+//! // …or batch N workloads across the same pool and stream reports as
+//! // they finish.
+//! let batch = engine
+//!     .submit_batch(
+//!         StrategySpec::all()
+//!             .into_iter()
+//!             .take(3)
+//!             .map(|s| JobSpec::new(s, image.clone(), params.clone()).iterations(2_000))
+//!             .collect(),
+//!     )
+//!     .unwrap();
+//! for result in batch.wait_all() {
+//!     println!("{} circles", result.unwrap().detected().len());
 //! }
 //! ```
 //!
-//! The scheme-specific layers stay public for callers that need richer
-//! control or outputs — e.g. [`core::Sampler`] for bare chains,
-//! [`parallel::PeriodicSampler`] for phase-level accounting, or
-//! [`parallel::run_blind`] for seam-merge details.
+//! Handles cancel cooperatively — [`JobHandle::cancel`](prelude::JobHandle::cancel)
+//! stops the run at its next token poll with
+//! [`RunError::Cancelled`](prelude::RunError::Cancelled) — and invalid
+//! workloads (zero iterations, empty images, mismatched dimensions) fail
+//! fast with [`RunError::InvalidSpec`](prelude::RunError::InvalidSpec)
+//! instead of panicking inside a scheme.
+//!
+//! The layers below stay public for callers that need richer control:
+//! [`parallel::engine`] for synchronous borrowed-data runs
+//! ([`RunRequest`](prelude::RunRequest) + [`RunCtx`](prelude::RunCtx)),
+//! [`core::Sampler`] for bare chains, [`parallel::PeriodicSampler`] for
+//! phase-level accounting, or [`parallel::run_blind`] for seam-merge
+//! details.
 //!
 //! See `examples/` for the full pipelines (`strategy_sweep` drives every
-//! registered strategy through the engine) and `crates/bench` for the
-//! harnesses regenerating every table and figure of the paper.
+//! registered strategy through the job API with live progress) and
+//! `crates/bench` for the harnesses regenerating every table and figure of
+//! the paper.
 
 pub use pmcmc_core as core;
 pub use pmcmc_imaging as imaging;
@@ -76,11 +107,12 @@ pub mod prelude {
     pub use pmcmc_imaging::synth::{generate, generate_clustered, ClusterSpec, Scene, SceneSpec};
     pub use pmcmc_imaging::{Circle, GrayImage, Mask, PartitionGrid, Rect};
     pub use pmcmc_parallel::{
-        by_name, registry, run_blind, run_intelligent, run_naive, BlindOptions, BlindStrategy,
-        DisputePolicy, IntelligentPartitioner, IntelligentStrategy, Mc3Strategy, NaiveOptions,
-        NaiveStrategy, PartitionScheme, PeriodicOptions, PeriodicSampler, PeriodicStrategy,
+        by_name, registry, run_blind, run_intelligent, run_naive, Batch, BlindOptions,
+        BlindStrategy, CancelToken, DisputePolicy, Engine, Event, IntelligentPartitioner,
+        IntelligentStrategy, JobHandle, JobId, JobSpec, Mc3Strategy, NaiveOptions, NaiveStrategy,
+        PartitionScheme, PeriodicOptions, PeriodicSampler, PeriodicStrategy, RunCtx, RunError,
         RunReport, RunRequest, SequentialStrategy, SpeculativeSampler, SpeculativeStrategy,
-        Strategy, SubChainOptions, Validity, STRATEGY_NAMES,
+        Strategy, StrategySpec, SubChainOptions, Validity, STRATEGY_NAMES,
     };
     pub use pmcmc_runtime::WorkerPool;
 }

@@ -140,6 +140,69 @@ fn intelligent_identical_across_pool_sizes() {
     assert!((a.1 - b.1).abs() < 1e-6);
 }
 
+/// Everything deterministic a report carries, with float fields captured
+/// bit-for-bit (wall times are excluded — they are the only
+/// non-deterministic fields by design).
+fn report_fingerprint(r: &RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{}|{:?}|iters={}",
+        r.strategy, r.validity, r.iterations
+    );
+    let _ = write!(
+        out,
+        "|parts={}|lp={:016x}",
+        r.diagnostics.partitions,
+        r.diagnostics.log_posterior.to_bits()
+    );
+    if let Some(acc) = r.diagnostics.acceptance_rate {
+        let _ = write!(out, "|acc={:016x}", acc.to_bits());
+    }
+    for note in &r.diagnostics.notes {
+        let _ = write!(out, "|note={note}");
+    }
+    for p in &r.phases {
+        let _ = write!(out, "|phase={}", p.phase);
+    }
+    for c in r.detected() {
+        let _ = write!(
+            out,
+            "|c={:016x},{:016x},{:016x}",
+            c.x.to_bits(),
+            c.y.to_bits(),
+            c.r.to_bits()
+        );
+    }
+    out
+}
+
+#[test]
+fn same_seed_job_specs_produce_byte_identical_reports() {
+    let (_, truth, img) = model();
+    let params = ModelParams::new(160, 160, truth.len() as f64, 8.0);
+    let engine = Engine::new(3).expect("worker count is positive");
+    for strategy in ["periodic", "speculative", "mc3", "blind"] {
+        let run = || {
+            let spec: StrategySpec = strategy.parse().expect("registered name");
+            let report = engine
+                .submit(
+                    JobSpec::new(spec, img.clone(), params.clone())
+                        .seed(33)
+                        .iterations(8_000),
+                )
+                .expect("spec validates")
+                .wait()
+                .expect("job completes");
+            report_fingerprint(&report)
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "{strategy} report not byte-identical");
+    }
+}
+
 #[test]
 fn different_seeds_give_different_chains() {
     let (m, _, _) = model();

@@ -26,29 +26,40 @@ fn scene(seed: u64) -> (NucleiModel, Vec<Circle>, GrayImage) {
 }
 
 /// The tentpole engine contract: every registered strategy runs the same
-/// `RunRequest` on the shared 192² scene through the single
-/// `Strategy::run` API, and every *exact-validity* scheme reaches an F1
-/// within 0.05 of the sequential baseline (they sample the same
-/// posterior, so with a fixed seed and a 60k budget their detection
-/// quality must coincide up to Monte-Carlo noise).
+/// workload on the shared 192² scene through the typed job API
+/// (`StrategySpec` → `JobSpec` → `JobHandle`), and every *exact-validity*
+/// scheme reaches an F1 within 0.05 of the sequential baseline (they
+/// sample the same posterior, so with a fixed seed and a 60k budget their
+/// detection quality must coincide up to Monte-Carlo noise).
 #[test]
 fn strategy_registry_sweeps_all_schemes_with_comparable_quality() {
     let (_, truth, img) = scene(7);
     let mut params = ModelParams::new(192, 192, truth.len() as f64, 8.0);
     params.noise_sd = 0.15;
-    let pool = WorkerPool::new(4);
-    let req = RunRequest::new(&img, &params, &pool, 42).iterations(60_000);
+    let engine = Engine::new(4).expect("worker count is positive");
+    let job = |strategy: StrategySpec| {
+        JobSpec::new(strategy, img.clone(), params.clone())
+            .seed(42)
+            .iterations(60_000)
+    };
 
-    let baseline = by_name("sequential")
-        .expect("sequential baseline registered")
-        .run(&req);
+    let baseline = engine
+        .submit(job(StrategySpec::Sequential))
+        .expect("sequential spec validates")
+        .wait()
+        .expect("sequential baseline completes");
     let f1_seq = match_circles(&truth, baseline.detected(), 5.0).f1();
     assert!(f1_seq >= 0.8, "sequential baseline too weak: F1 {f1_seq}");
 
     let mut swept = Vec::new();
-    for strategy in registry() {
-        let report = strategy.run(&req);
-        assert_eq!(report.strategy, strategy.name());
+    for strategy in StrategySpec::all() {
+        let name = strategy.name();
+        let report = engine
+            .submit(job(strategy))
+            .expect("spec validates")
+            .wait()
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(report.strategy, name);
         assert!(report.iterations > 0, "{} ran nothing", report.strategy);
         let f1 = match_circles(&truth, report.detected(), 5.0).f1();
         if report.validity.is_exact() {
