@@ -1,0 +1,152 @@
+//! CLUSTER — the eq. (4) runtime model against its execution counterpart:
+//! the same batch of jobs run on sharded `s × t` topologies, measured
+//! makespans compared against the `theory::eq4_time` predictions.
+//!
+//! The workload is deliberately partitionable — K independent same-budget
+//! jobs — so the cluster behaves like greedy list scheduling over jobs
+//! and the ideal runtime fraction of an `s`-node topology is `1/s`.
+//! Emits `BENCH_cluster.json` at the repo root as the perf baseline for
+//! future PRs.
+
+use pmcmc_bench::{json_escape, print_header, quick_mode, section7_workload, write_bench_artifact};
+use pmcmc_parallel::engine::StrategySpec;
+use pmcmc_parallel::job::{Engine, JobSpec, ShardPlacement, ShardedBackend};
+use pmcmc_parallel::report::{fmt_f, fmt_secs, Table};
+use pmcmc_parallel::theory::eq4_time;
+use pmcmc_runtime::ClusterTopology;
+use std::time::Instant;
+
+const JOBS: usize = 4;
+
+fn main() {
+    print_header("CLUSTER: sharded backend vs eq. (4)", "sec VI, eq. (4)");
+    let w = section7_workload(42);
+    let budget: u64 = std::env::var("PMCMC_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick_mode() { 20_000 } else { 80_000 });
+    println!(
+        "workload: {} jobs x {} iterations each on a {}x{} image",
+        JOBS,
+        budget,
+        w.image.width(),
+        w.image.height()
+    );
+
+    let mut table = Table::new(
+        "pack placement: batch makespan by topology",
+        &[
+            "topology (s x t)",
+            "makespan",
+            "fraction of 1-node",
+            "eq4 predicted fraction",
+            "max node busy",
+        ],
+    );
+
+    // Measured makespan per topology; in-flight 1 means each node runs
+    // one job at a time, so s nodes give s-way job parallelism.
+    let topologies = [(1usize, 2usize), (2, 1), (2, 2), (4, 1)];
+    let mut baseline: Option<f64> = None;
+    let mut json_rows: Vec<String> = Vec::new();
+    for (s, t) in topologies {
+        let engine = Engine::sharded(ClusterTopology::new(s, t).max_in_flight(1))
+            .expect("topology is valid");
+        let specs: Vec<JobSpec> = (0..JOBS)
+            .map(|i| {
+                JobSpec::new(
+                    StrategySpec::Sequential,
+                    w.image.clone(),
+                    w.model.params.clone(),
+                )
+                .seed(i as u64)
+                .iterations(budget)
+            })
+            .collect();
+        let t0 = Instant::now();
+        let results = engine.submit_batch(specs).expect("batch").wait_all();
+        let makespan = t0.elapsed().as_secs_f64();
+        let max_busy = results
+            .iter()
+            .flat_map(|r| r.as_ref().expect("job completes").node_timings.iter())
+            .map(|nt| nt.busy.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        let base = *baseline.get_or_insert(makespan);
+        let fraction = makespan / base;
+        // eq. (4) with q_g = 0 (fully partitionable batch) and t = 1
+        // speculative lanes: predicted fraction is 1/s.
+        let total_iters = (JOBS as u64 * budget) as f64;
+        let tau = base / total_iters;
+        let pred = eq4_time(total_iters, 0.0, tau, tau, s, 1, 0.0, 0.0)
+            / eq4_time(total_iters, 0.0, tau, tau, 1, 1, 0.0, 0.0);
+        table.push_row(vec![
+            format!("{s} x {t}"),
+            fmt_secs(makespan),
+            fmt_f(fraction, 3),
+            fmt_f(pred, 3),
+            fmt_secs(max_busy),
+        ]);
+        json_rows.push(format!(
+            "    {{\"mode\": \"pack\", \"nodes\": {s}, \"threads_per_node\": {t}, \
+             \"jobs\": {JOBS}, \"iterations_per_job\": {budget}, \
+             \"makespan_s\": {makespan:.6}, \"fraction\": {fraction:.4}, \
+             \"eq4_fraction\": {pred:.4}}}"
+        ));
+    }
+    println!("{}", table.render());
+
+    // Split placement: one job striped across the cluster, per-node
+    // reports merged through the duplicate-clustering path.
+    let engine = Engine::with_backend(
+        ShardedBackend::new(ClusterTopology::new(2, 2))
+            .expect("topology is valid")
+            .placement(ShardPlacement::SplitJobs),
+    );
+    let t0 = Instant::now();
+    let report = engine
+        .submit(
+            JobSpec::new(
+                StrategySpec::Sequential,
+                w.image.clone(),
+                w.model.params.clone(),
+            )
+            .seed(7)
+            .iterations(budget),
+        )
+        .expect("spec validates")
+        .wait()
+        .expect("split job completes");
+    let split_s = t0.elapsed().as_secs_f64();
+    println!(
+        "split placement (2 x 2): {} in {}, {} detections over {} node stripes",
+        json_escape(&report.strategy),
+        fmt_secs(split_s),
+        report.detected().len(),
+        report.diagnostics.partitions
+    );
+    for nt in &report.node_timings {
+        println!(
+            "  {}: queued {:>8}, busy {:>8}",
+            nt.node,
+            fmt_secs(nt.queued.as_secs_f64()),
+            fmt_secs(nt.busy.as_secs_f64())
+        );
+    }
+    json_rows.push(format!(
+        "    {{\"mode\": \"split\", \"nodes\": 2, \"threads_per_node\": 2, \"jobs\": 1, \
+         \"iterations_per_job\": {budget}, \"makespan_s\": {split_s:.6}, \
+         \"detections\": {}, \"merged_partitions\": {}}}",
+        report.detected().len(),
+        report.diagnostics.partitions
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"cluster_backend\",\n  \"mode\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        if quick_mode() { "quick" } else { "full" },
+        json_rows.join(",\n"),
+    );
+    match write_bench_artifact("BENCH_cluster.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_cluster.json: {e}"),
+    }
+}

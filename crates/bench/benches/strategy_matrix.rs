@@ -8,7 +8,9 @@
 //! further changes, and every row's run is observable/cancellable like any
 //! other job.
 
-use pmcmc_bench::{bench_iters, print_header, section7_workload};
+use pmcmc_bench::{
+    bench_iters, json_escape, print_header, quick_mode, section7_workload, write_bench_artifact,
+};
 use pmcmc_core::match_circles;
 use pmcmc_parallel::engine::StrategySpec;
 use pmcmc_parallel::job::{Engine, JobSpec};
@@ -43,6 +45,7 @@ fn main() {
     );
 
     let mut seq_time = None;
+    let mut json_rows: Vec<String> = Vec::new();
     for spec in StrategySpec::all() {
         let job = JobSpec::new(spec, w.image.clone(), w.model.params.clone())
             .seed(7)
@@ -68,10 +71,37 @@ fn main() {
             frac,
             report.diagnostics.partitions.to_string(),
         ]);
+        json_rows.push(format!(
+            "    {{\"strategy\": \"{}\", \"validity\": \"{}\", \"found\": {}, \
+             \"f1\": {:.4}, \"anomalies\": {}, \"runtime_s\": {:.6}, \
+             \"fraction_of_seq\": {}, \"partitions\": {}}}",
+            json_escape(&report.strategy),
+            json_escape(report.validity.label()),
+            report.detected().len(),
+            m.f1(),
+            m.anomaly_count(),
+            secs,
+            seq_time.map_or_else(|| "null".to_owned(), |t| format!("{:.4}", secs / t)),
+            report.diagnostics.partitions,
+        ));
     }
     println!("{}", table.render());
     println!(
         "reading guide: exact rows must match sequential's F1 band; heuristic rows trade \
          validity for wall time; the naive row shows the boundary anomalies of §II."
     );
+
+    // Machine-readable baseline for future PRs to diff against.
+    let json = format!(
+        "{{\n  \"bench\": \"strategy_matrix\",\n  \"mode\": \"{}\",\n  \
+         \"iterations\": {},\n  \"workers\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        if quick_mode() { "quick" } else { "full" },
+        iters,
+        engine.pool().threads(),
+        json_rows.join(",\n"),
+    );
+    match write_bench_artifact("BENCH_strategy_matrix.json", &json) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_strategy_matrix.json: {e}"),
+    }
 }

@@ -155,6 +155,41 @@ fn build(spec: SceneSpec, clusters: Option<Vec<ClusterSpec>>, seed: u64) -> Work
     }
 }
 
+/// Escapes a string for embedding inside a JSON string literal.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a machine-readable bench artefact (`BENCH_*.json`) at the
+/// repository root, so successive PRs can diff perf baselines. Returns
+/// the path written.
+///
+/// # Errors
+/// Propagates the underlying filesystem error.
+pub fn write_bench_artifact(file_name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    // CARGO_MANIFEST_DIR is crates/bench at compile time; the repo root
+    // is two levels up regardless of the invocation cwd.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let path = root.join(file_name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
 /// Prints the standard bench header with workload scale information.
 pub fn print_header(name: &str, paper_ref: &str) {
     println!();
@@ -172,6 +207,14 @@ pub fn print_header(name: &str, paper_ref: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_escape_covers_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line1\nline2\t."), "line1\\nline2\\t.");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
 
     #[test]
     fn section7_workload_matches_spec() {

@@ -201,17 +201,77 @@ pub fn run_blind_ctx(
             .any(|(q, p)| q != part && p.extended.contains_point(c.x, c.y))
     };
 
-    let mut pool_circles: Vec<(usize, Circle, bool)> = Vec::new(); // (partition, circle, in_band)
+    let mut candidates: Vec<MergeCandidate> = Vec::new();
     for (pi, p) in partitions.iter().enumerate() {
         for &c in &p.kept {
-            pool_circles.push((pi, c, in_overlap_band(&c, pi)));
+            candidates.push(MergeCandidate {
+                source: pi,
+                circle: c,
+                in_overlap: in_overlap_band(&c, pi),
+            });
         }
     }
+    let outcome = cluster_duplicates(
+        &candidates,
+        opts.merge_eps,
+        opts.dispute == DisputePolicy::Accept,
+    );
+    let merge_time = t1.elapsed();
 
-    // Union-find over band detections within merge_eps from different
-    // partitions.
-    let n_pool = pool_circles.len();
-    let mut parent: Vec<usize> = (0..n_pool).collect();
+    Ok(BlindResult {
+        partitions,
+        merged: outcome.merged,
+        merged_pairs: outcome.merged_pairs,
+        disputed: outcome.disputed,
+        chains_time,
+        merge_time,
+    })
+}
+
+/// One detection entering the cross-partition duplicate merge: which
+/// partition (or cluster node) produced it, where it sits in global
+/// coordinates, and whether it lies in a region covered by more than one
+/// source (the "overlap band" where duplicates and disputes can occur).
+#[derive(Debug, Clone, Copy)]
+pub struct MergeCandidate {
+    /// Index of the producing partition/node.
+    pub source: usize,
+    /// The detection, in global coordinates.
+    pub circle: Circle,
+    /// Whether the detection lies in a multiply-covered overlap region.
+    pub in_overlap: bool,
+}
+
+/// Outcome of [`cluster_duplicates`].
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The merged detection set, in deterministic order.
+    pub merged: Vec<Circle>,
+    /// Number of cross-source duplicate pairs that were averaged away.
+    pub merged_pairs: usize,
+    /// Number of disputable artifacts encountered (unpaired overlap-band
+    /// detections).
+    pub disputed: usize,
+}
+
+/// The §VIII duplicate-clustering post-processor, shared by blind
+/// partitioning and the sharded backend's cluster-split merge: overlap
+/// detections from *different* sources within `eps` of each other are
+/// clustered with union-find (an artifact on a 4-way corner appears in up
+/// to four models) and each cluster is "replaced with a bead with
+/// centerpoint and radii that are the average" of its members. Unpaired
+/// overlap detections are disputable — kept when `keep_disputed`, dropped
+/// otherwise — and detections outside any overlap pass through untouched.
+#[must_use]
+pub fn cluster_duplicates(
+    candidates: &[MergeCandidate],
+    eps: f64,
+    keep_disputed: bool,
+) -> MergeOutcome {
+    // Union-find over overlap-band detections within eps from different
+    // sources.
+    let n = candidates.len();
+    let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut Vec<usize>, i: usize) -> usize {
         if parent[i] != i {
             let root = find(parent, parent[i]);
@@ -219,15 +279,15 @@ pub fn run_blind_ctx(
         }
         parent[i]
     }
-    for i in 0..n_pool {
-        if !pool_circles[i].2 {
+    for i in 0..n {
+        if !candidates[i].in_overlap {
             continue;
         }
-        for j in i + 1..n_pool {
-            if !pool_circles[j].2 || pool_circles[i].0 == pool_circles[j].0 {
+        for j in i + 1..n {
+            if !candidates[j].in_overlap || candidates[i].source == candidates[j].source {
                 continue;
             }
-            if pool_circles[i].1.centre_distance(&pool_circles[j].1) <= opts.merge_eps {
+            if candidates[i].circle.centre_distance(&candidates[j].circle) <= eps {
                 let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                 if ri != rj {
                     parent[ri] = rj;
@@ -238,7 +298,7 @@ pub fn run_blind_ctx(
 
     let mut clusters: std::collections::HashMap<usize, Vec<usize>> =
         std::collections::HashMap::new();
-    for i in 0..n_pool {
+    for i in 0..n {
         let root = find(&mut parent, i);
         clusters.entry(root).or_default().push(i);
     }
@@ -253,33 +313,28 @@ pub fn run_blind_ctx(
         if members.len() > 1 {
             let k = members.len() as f64;
             let (sx, sy, sr) = members.iter().fold((0.0, 0.0, 0.0), |acc, &i| {
-                let c = pool_circles[i].1;
+                let c = candidates[i].circle;
                 (acc.0 + c.x, acc.1 + c.y, acc.2 + c.r)
             });
             merged.push(Circle::new(sx / k, sy / k, sr / k));
             merged_pairs += members.len() - 1;
         } else {
-            let (_, c, in_band) = pool_circles[members[0]];
-            if in_band {
+            let c = candidates[members[0]];
+            if c.in_overlap {
                 disputed += 1;
-                if opts.dispute == DisputePolicy::Accept {
-                    merged.push(c);
+                if keep_disputed {
+                    merged.push(c.circle);
                 }
             } else {
-                merged.push(c);
+                merged.push(c.circle);
             }
         }
     }
-    let merge_time = t1.elapsed();
-
-    Ok(BlindResult {
-        partitions,
+    MergeOutcome {
         merged,
         merged_pairs,
         disputed,
-        chains_time,
-        merge_time,
-    })
+    }
 }
 
 #[cfg(test)]

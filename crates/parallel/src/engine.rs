@@ -51,7 +51,7 @@ use crate::speculative::SpeculativeSampler;
 use crate::subchain::SubChainOptions;
 use pmcmc_core::{Configuration, Mc3, ModelParams, NucleiModel, Sampler};
 use pmcmc_imaging::{Circle, GrayImage};
-use pmcmc_runtime::WorkerPool;
+use pmcmc_runtime::{NodeId, WorkerPool};
 use std::fmt;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
@@ -189,9 +189,25 @@ pub struct PhaseTiming {
 }
 
 impl PhaseTiming {
-    fn new(phase: &'static str, duration: Duration) -> Self {
+    pub(crate) fn new(phase: &'static str, duration: Duration) -> Self {
         Self { phase, duration }
     }
+}
+
+/// Wall-clock accounting of one cluster node's share of a run: how long
+/// the work waited in the node's admission queue and how long the node
+/// was busy executing it. The regression target for these numbers is
+/// [`theory::eq4_time`](crate::theory::eq4_time) — summing `busy` over a
+/// batch and comparing makespans across topologies is how the §VI cluster
+/// model is validated against measured execution.
+#[derive(Debug, Clone)]
+pub struct NodeTiming {
+    /// The node the work ran on.
+    pub node: NodeId,
+    /// Time between submission and a node driver picking the work up.
+    pub queued: Duration,
+    /// Wall time the node spent executing the work.
+    pub busy: Duration,
 }
 
 /// Run accounting beyond the final state: everything the bench tables
@@ -230,6 +246,11 @@ pub struct RunReport {
     pub iterations: u64,
     /// Scheme diagnostics.
     pub diagnostics: RunDiagnostics,
+    /// Per-node wall-clock accounting, filled in by the execution
+    /// backends: one entry for a whole-job run (the node it was placed
+    /// on), one per node for a cluster-split run. Empty for detached
+    /// strategy runs that bypass the job layer.
+    pub node_timings: Vec<NodeTiming>,
 }
 
 impl RunReport {
@@ -253,7 +274,7 @@ impl RunReport {
     /// the full-image model of the request (adapters pass the one they
     /// already built rather than paying a second O(width·height) gain
     /// construction).
-    fn finish(
+    pub(crate) fn finish(
         strategy: &str,
         validity: Validity,
         model: &NucleiModel,
@@ -275,6 +296,7 @@ impl RunReport {
                 log_posterior,
                 notes: Vec::new(),
             },
+            node_timings: Vec::new(),
         }
     }
 }
@@ -1093,6 +1115,11 @@ pub fn registry() -> Vec<Box<dyn Strategy>> {
 /// Builds the strategy registered under `name` — a thin, historical shim
 /// over [`StrategySpec`]'s `FromStr` (which also accepts `name:key=value`
 /// option suffixes and reports *why* a spelling is rejected).
+#[deprecated(
+    since = "0.1.0",
+    note = "parse a typed spec instead: `name.parse::<StrategySpec>()?.build()` \
+            (keeps the error explaining why a spelling was rejected)"
+)]
 #[must_use]
 pub fn by_name(name: &str) -> Option<Box<dyn Strategy>> {
     name.parse::<StrategySpec>().ok().map(|s| s.build())
@@ -1126,14 +1153,28 @@ mod tests {
     }
 
     #[test]
-    fn registry_contains_all_schemes_resolvable_by_name() {
+    fn registry_contains_all_schemes_resolvable_by_spec() {
         let names: Vec<String> = registry().iter().map(|s| s.name().to_owned()).collect();
         assert_eq!(names, STRATEGY_NAMES);
         for name in STRATEGY_NAMES {
-            let s = by_name(name).expect("every published name resolves");
+            let s = name
+                .parse::<StrategySpec>()
+                .expect("every published name resolves")
+                .build();
             assert_eq!(s.name(), name);
         }
-        assert!(by_name("mc3par").is_some(), "historical alias");
+        assert!("mc3par".parse::<StrategySpec>().is_ok(), "historical alias");
+        assert!("nope".parse::<StrategySpec>().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_by_name_shim_still_resolves() {
+        // The shim survives one deprecation cycle; behaviourally it is
+        // `FromStr` with the error discarded.
+        for name in STRATEGY_NAMES {
+            assert_eq!(by_name(name).expect("shim resolves").name(), name);
+        }
         assert!(by_name("nope").is_none());
     }
 
@@ -1148,7 +1189,7 @@ mod tests {
 
     #[test]
     fn validity_tags_match_the_paper() {
-        let tag = |n: &str| by_name(n).unwrap().validity();
+        let tag = |n: &str| n.parse::<StrategySpec>().unwrap().build().validity();
         assert_eq!(tag("sequential"), Validity::Exact);
         assert_eq!(tag("periodic"), Validity::Exact);
         assert_eq!(tag("speculative"), Validity::Exact);
@@ -1353,8 +1394,10 @@ mod tests {
         for name in ["periodic", "speculative", "blind"] {
             let run = || {
                 let req = RunRequest::new(&img, &params, &pool, 21).iterations(2_000);
-                let report = by_name(name)
+                let report = name
+                    .parse::<StrategySpec>()
                     .unwrap()
+                    .build()
                     .run(&req, &RunCtx::default())
                     .expect("detached run succeeds");
                 (report.detected().len(), report.diagnostics.log_posterior)
@@ -1371,8 +1414,10 @@ mod tests {
         let (img, params) = small_workload();
         let pool = WorkerPool::new(2);
         let req = RunRequest::new(&img, &params, &pool, 5).iterations(1_500);
-        let report = by_name("periodic")
+        let report = "periodic"
+            .parse::<StrategySpec>()
             .unwrap()
+            .build()
             .run(&req, &RunCtx::default())
             .expect("detached run succeeds");
         assert!(report.phase("global").is_some());

@@ -1,0 +1,62 @@
+//! The single-machine backend: one shared pool, one driver thread per job.
+
+use crate::job::backend::{ExecutionBackend, PreparedJob};
+use crate::job::error::RunError;
+use pmcmc_runtime::{ClusterTopology, NodeId, WorkerPool};
+use std::sync::Arc;
+
+/// The historical engine behaviour as a backend: every job gets a detached
+/// driver thread immediately (so submission returns at once and never
+/// throttles) and fans its parallel stages onto one shared [`WorkerPool`].
+/// Callers bound total CPU pressure by bounding how many jobs they keep in
+/// flight; for built-in back-pressure use
+/// [`ShardedBackend`](crate::job::backend::ShardedBackend).
+pub struct LocalBackend {
+    pool: Arc<WorkerPool>,
+}
+
+impl LocalBackend {
+    /// Creates a backend with its own pool of `threads` workers.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when `threads` is zero.
+    pub fn new(threads: usize) -> Result<Self, RunError> {
+        if threads == 0 {
+            return Err(RunError::InvalidSpec(
+                "worker count must be at least 1".to_owned(),
+            ));
+        }
+        Ok(Self::with_pool(WorkerPool::shared(threads)))
+    }
+
+    /// Creates a backend on an existing shared pool.
+    #[must_use]
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self { pool }
+    }
+}
+
+impl ExecutionBackend for LocalBackend {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn topology(&self) -> ClusterTopology {
+        // One machine, pool-width threads; admission is unbounded (the
+        // backend never blocks submission).
+        ClusterTopology::new(1, self.pool.threads()).max_in_flight(usize::MAX)
+    }
+
+    fn primary_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    fn launch(&self, job: PreparedJob) -> Result<(), RunError> {
+        let pool = Arc::clone(&self.pool);
+        std::thread::Builder::new()
+            .name(format!("pmcmc-{}", job.id()))
+            .spawn(move || job.execute(&pool, NodeId(0)))
+            .map(|_| ())
+            .map_err(|e| RunError::InvalidSpec(format!("failed to spawn job thread: {e}")))
+    }
+}

@@ -1,0 +1,564 @@
+//! The simulated `s × t` cluster backend for eq. (4).
+//!
+//! §VI's scaling argument culminates in eq. (4): a cluster of `s` machines
+//! with `t` threads each. [`ShardedBackend`] gives that model an execution
+//! counterpart: `s` node structs, each owning a *private*
+//! [`WorkerPool`] of `t` workers, a bounded admission queue (submission
+//! back-pressures a saturated node instead of piling work up unboundedly),
+//! and driver threads that run admitted jobs against the node's pool.
+//! Job placement follows the same greedy least-loaded rule as
+//! [`list_schedule_makespan`](pmcmc_runtime::list_schedule_makespan), and
+//! batches launch in [`lpt_order`] so heavy jobs place first — the classic
+//! Graham bound then applies to the cluster's makespan.
+//!
+//! Two placement modes exist (see [`ShardPlacement`]): packing whole jobs
+//! onto nodes, or splitting each job's image into one stripe per node,
+//! running the job's strategy on every node concurrently, and merging the
+//! per-node reports through the blind scheme's duplicate-clustering path.
+
+use crate::blind::{cluster_duplicates, DisputePolicy, MergeCandidate};
+use crate::engine::{NodeTiming, PhaseTiming, RunReport, RunRequest, StrategySpec, Validity};
+use crate::job::backend::{ExecutionBackend, JobCompletion, PreparedJob};
+use crate::job::ctx::{CancelToken, Event, RunCtx};
+use crate::job::error::{panic_message, RunError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use pmcmc_core::rng::derive_seed;
+use pmcmc_core::{Configuration, ModelParams, NucleiModel};
+use pmcmc_imaging::{regular_tiles, Circle, GrayImage, Rect};
+use pmcmc_runtime::{lpt_order, Admission, ClusterTopology, NodeId, WorkerPool};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a sharded cluster maps jobs onto its nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPlacement {
+    /// Each job runs whole on one node — the least-loaded by committed
+    /// weight, preferring nodes with a free admission slot. Batches
+    /// launch in LPT order, so the cluster behaves like greedy list
+    /// scheduling over jobs.
+    #[default]
+    PackJobs,
+    /// Each job is split into one vertical image stripe per node (with a
+    /// blind-partitioning overlap margin); every node runs the job's
+    /// strategy on its stripe concurrently and the per-node reports are
+    /// merged through the blind duplicate-clustering path. A 1-node
+    /// cluster degenerates to [`ShardPlacement::PackJobs`] (whole image,
+    /// original parameters), so local and 1-node sharded runs stay
+    /// byte-identical.
+    SplitJobs,
+}
+
+/// One simulated cluster node: a private pool of `t` workers, a bounded
+/// admission slot count, and driver threads consuming the node's queue.
+struct NodeRuntime {
+    id: NodeId,
+    pool: Arc<WorkerPool>,
+    admission: Arc<Admission>,
+    queue: Option<Sender<NodeTask>>,
+    drivers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Work admitted to a node's queue.
+enum NodeTask {
+    /// A whole job (pack placement): run it on the node's pool.
+    Whole(Box<PreparedJob>),
+    /// One stripe of a split job.
+    Stripe(Box<StripeTask>),
+}
+
+/// One node's share of a split job: the cropped stripe, derived
+/// parameters, and the channel the coordinator collects results on.
+struct StripeTask {
+    strategy: StrategySpec,
+    image: GrayImage,
+    params: ModelParams,
+    seed: u64,
+    iterations: u64,
+    progress_stride: u64,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    result: Sender<(usize, Duration, Result<RunReport, RunError>)>,
+}
+
+fn driver_loop(
+    node: NodeId,
+    pool: &Arc<WorkerPool>,
+    admission: &Admission,
+    queue: &Receiver<NodeTask>,
+) {
+    while let Ok(task) = queue.recv() {
+        match task {
+            NodeTask::Whole(job) => job.execute(pool, node),
+            NodeTask::Stripe(stripe) => run_stripe(node, pool, *stripe),
+        }
+        admission.release();
+    }
+}
+
+fn run_stripe(node: NodeId, pool: &Arc<WorkerPool>, stripe: StripeTask) {
+    let queued = stripe.enqueued.elapsed();
+    let mut ctx = RunCtx::new()
+        .with_cancel(stripe.cancel.clone())
+        .with_progress_stride(stripe.progress_stride);
+    if let Some(d) = stripe.deadline {
+        ctx = ctx.with_deadline(d);
+    }
+    let req = RunRequest::new(&stripe.image, &stripe.params, pool, stripe.seed)
+        .iterations(stripe.iterations);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stripe.strategy.build().run(&req, &ctx)
+    }))
+    .unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(&*payload))));
+    let _ = stripe.result.send((node.index(), queued, result));
+}
+
+/// The eq. (4) cluster as an [`ExecutionBackend`]: `s` nodes × `t`
+/// workers, bounded per-node admission, LPT placement. See the module
+/// docs for the execution model and [`ShardPlacement`] for the two
+/// job-mapping modes.
+pub struct ShardedBackend {
+    topology: ClusterTopology,
+    placement: ShardPlacement,
+    /// Maximum centre distance for clustering duplicate detections when
+    /// merging split-job stripes (the paper's 5 px).
+    merge_eps: f64,
+    /// Stripe overlap margin as a multiple of the expected radius (the
+    /// blind scheme's 1.1).
+    margin_factor: f64,
+    /// What to do with unpaired overlap-band detections in split-job
+    /// merges (the blind scheme's disputable-artifact policy).
+    dispute: DisputePolicy,
+    nodes: Vec<NodeRuntime>,
+    /// Cumulative committed placement weight per node (greedy list
+    /// scheduling state; never decremented, exactly like the makespan
+    /// simulation in `pmcmc_runtime::scheduler`).
+    committed: Mutex<Vec<f64>>,
+}
+
+impl ShardedBackend {
+    /// Spins up the cluster: `s` node pools of `t` workers each, plus
+    /// per-node driver threads (one per admission slot, capped at 32).
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] for a degenerate topology (zero nodes,
+    /// threads, or admission bound).
+    pub fn new(topology: ClusterTopology) -> Result<Self, RunError> {
+        topology.validate().map_err(RunError::InvalidSpec)?;
+        let mut nodes = Vec::with_capacity(topology.nodes());
+        for n in 0..topology.nodes() {
+            let id = NodeId(n);
+            let pool = WorkerPool::shared(topology.threads_per_node());
+            let admission = Arc::new(Admission::new(topology.max_in_flight_per_node()));
+            let (tx, rx) = unbounded::<NodeTask>();
+            // One driver per admission slot means every admitted task runs
+            // immediately; with more slots than the cap, the surplus waits
+            // (admitted) in the node queue.
+            let driver_count = topology.max_in_flight_per_node().min(32);
+            let mut drivers = Vec::with_capacity(driver_count);
+            for d in 0..driver_count {
+                let pool = Arc::clone(&pool);
+                let admission = Arc::clone(&admission);
+                let rx = rx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("pmcmc-node{n}-driver{d}"))
+                    .spawn(move || driver_loop(id, &pool, &admission, &rx))
+                    .map_err(|e| {
+                        RunError::InvalidSpec(format!("failed to spawn node driver: {e}"))
+                    })?;
+                drivers.push(handle);
+            }
+            nodes.push(NodeRuntime {
+                id,
+                pool,
+                admission,
+                queue: Some(tx),
+                drivers,
+            });
+        }
+        Ok(Self {
+            topology,
+            placement: ShardPlacement::PackJobs,
+            merge_eps: 5.0,
+            margin_factor: 1.1,
+            dispute: DisputePolicy::Accept,
+            nodes,
+            committed: Mutex::new(vec![0.0; topology.nodes()]),
+        })
+    }
+
+    /// Sets the job-to-node mapping mode.
+    #[must_use]
+    pub fn placement(mut self, placement: ShardPlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the duplicate-clustering distance for split-job merges
+    /// (default 5 px, the paper's).
+    #[must_use]
+    pub fn merge_eps(mut self, eps: f64) -> Self {
+        self.merge_eps = eps;
+        self
+    }
+
+    /// Sets the stripe overlap margin factor for split jobs (default 1.1,
+    /// the blind scheme's).
+    #[must_use]
+    pub fn margin_factor(mut self, factor: f64) -> Self {
+        self.margin_factor = factor;
+        self
+    }
+
+    /// Sets the disputable-artifact policy for split-job merges: keep
+    /// unpaired overlap-band detections (`Accept`, the default — favours
+    /// recall) or drop them (`Discard` — favours precision).
+    #[must_use]
+    pub fn dispute(mut self, dispute: DisputePolicy) -> Self {
+        self.dispute = dispute;
+        self
+    }
+
+    /// The committed placement weight per node (diagnostics).
+    #[must_use]
+    pub fn committed_weights(&self) -> Vec<f64> {
+        self.committed.lock().clone()
+    }
+
+    /// Picks the target node for a whole job: least committed weight
+    /// first, preferring nodes with a free admission slot, and acquires
+    /// that node's admission (blocking when the whole cluster is
+    /// saturated — this is the submission throttling the local backend
+    /// never had).
+    fn admit_whole(&self, weight: f64) -> usize {
+        let pre_admitted;
+        let chosen = {
+            let mut committed = self.committed.lock();
+            let mut order: Vec<usize> = (0..self.nodes.len()).collect();
+            order.sort_by(|&a, &b| committed[a].total_cmp(&committed[b]).then(a.cmp(&b)));
+            let free = order
+                .iter()
+                .copied()
+                .find(|&n| self.nodes[n].admission.try_acquire());
+            pre_admitted = free.is_some();
+            let n = free.unwrap_or(order[0]);
+            committed[n] += weight;
+            n
+        };
+        if !pre_admitted {
+            self.nodes[chosen].admission.acquire();
+        }
+        chosen
+    }
+
+    fn send(&self, node: usize, task: NodeTask) -> Result<(), RunError> {
+        self.nodes[node]
+            .queue
+            .as_ref()
+            .expect("queue alive until drop")
+            .send(task)
+            .map_err(|_| RunError::InvalidSpec("sharded backend is shut down".to_owned()))
+    }
+
+    fn launch_whole(&self, job: PreparedJob) -> Result<(), RunError> {
+        let node = self.admit_whole(job.weight());
+        self.send(node, NodeTask::Whole(Box::new(job)))
+    }
+
+    fn launch_split(&self, job: PreparedJob) -> Result<(), RunError> {
+        // Spread the job's weight across the cluster for placement
+        // accounting, then hand the fan-out/merge to a coordinator thread
+        // so launch() only blocks for admission, not for the run.
+        let share = job.weight() / self.nodes.len() as f64;
+        {
+            let mut committed = self.committed.lock();
+            for w in committed.iter_mut() {
+                *w += share;
+            }
+        }
+        let nodes: Vec<(NodeId, Arc<Admission>, Sender<NodeTask>)> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.id,
+                    Arc::clone(&n.admission),
+                    n.queue.as_ref().expect("queue alive until drop").clone(),
+                )
+            })
+            .collect();
+        let (merge_eps, margin_factor, dispute) =
+            (self.merge_eps, self.margin_factor, self.dispute);
+        std::thread::Builder::new()
+            .name(format!("pmcmc-{}-split", job.id()))
+            .spawn(move || run_split(job, &nodes, merge_eps, margin_factor, dispute))
+            .map(|_| ())
+            .map_err(|e| RunError::InvalidSpec(format!("failed to spawn split coordinator: {e}")))
+    }
+}
+
+impl ExecutionBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn topology(&self) -> ClusterTopology {
+        self.topology
+    }
+
+    fn primary_pool(&self) -> &Arc<WorkerPool> {
+        &self.nodes[0].pool
+    }
+
+    fn launch(&self, job: PreparedJob) -> Result<(), RunError> {
+        match self.placement {
+            ShardPlacement::PackJobs => self.launch_whole(job),
+            // A 1-node split is exactly a whole-job run; skipping the
+            // stripe machinery keeps it byte-identical to LocalBackend.
+            ShardPlacement::SplitJobs if self.nodes.len() == 1 => self.launch_whole(job),
+            ShardPlacement::SplitJobs => self.launch_split(job),
+        }
+    }
+
+    fn batch_order(&self, weights: &[f64]) -> Vec<usize> {
+        lpt_order(weights)
+    }
+}
+
+impl Drop for ShardedBackend {
+    fn drop(&mut self) {
+        // Closing each node's queue stops its drivers once in-flight work
+        // drains (split coordinators hold their own sender clones, so
+        // their stripes still complete first).
+        for node in &mut self.nodes {
+            node.queue.take();
+        }
+        for node in &mut self.nodes {
+            for driver in node.drivers.drain(..) {
+                let _ = driver.join();
+            }
+        }
+    }
+}
+
+/// The split-job coordinator: stripes the image, fans one stripe per
+/// node, collects and merges the per-node reports, and resolves the
+/// job's handle.
+fn run_split(
+    job: PreparedJob,
+    nodes: &[(NodeId, Arc<Admission>, Sender<NodeTask>)],
+    merge_eps: f64,
+    margin_factor: f64,
+    dispute: DisputePolicy,
+) {
+    let PreparedJob {
+        id: _,
+        strategy,
+        image,
+        params,
+        seed,
+        iterations,
+        deadline,
+        // Checkpoints require a central chain state; a split run has one
+        // per node, so the knob is ignored here (documented on the
+        // backend).
+        checkpoint_interval: _,
+        progress_stride,
+        observer,
+        cancel,
+        events,
+        done,
+        batch,
+        finished,
+        submitted_at,
+    } = job;
+    let forward = move |event: &Event| {
+        if let Some(cb) = &observer {
+            cb(event);
+        }
+        let _ = events.send(event.clone());
+    };
+    let completion = JobCompletion {
+        done,
+        batch,
+        finished,
+    };
+    let deadline = deadline.map(|d| submitted_at + d);
+    let start = Instant::now();
+    let s = nodes.len();
+
+    // One vertical stripe per node, extended by the blind scheme's
+    // overlap margin so artifacts on a seam appear in both neighbours.
+    let frame = image.frame();
+    let cores = regular_tiles(image.width(), image.height(), s as u32, 1);
+    let margin = (margin_factor * params.radius_prior.mu).ceil() as i64;
+    let extended: Vec<Rect> = cores
+        .iter()
+        .map(|c| c.inflate(margin).intersect(&frame))
+        .collect();
+    let total_area: f64 = frame.area() as f64;
+
+    forward(&Event::PhaseStarted { phase: "chains" });
+    let (result_tx, result_rx) = unbounded();
+    for (i, (_, admission, queue)) in nodes.iter().enumerate() {
+        let crop = image.crop(&extended[i]);
+        let mut stripe_params = params.clone();
+        stripe_params.width = crop.width();
+        stripe_params.height = crop.height();
+        stripe_params.expected_count =
+            (params.expected_count * cores[i].area() as f64 / total_area).max(0.05);
+        let task = StripeTask {
+            strategy,
+            image: crop,
+            params: stripe_params,
+            seed: derive_seed(seed, i as u64),
+            iterations,
+            progress_stride,
+            cancel: cancel.clone(),
+            deadline,
+            enqueued: Instant::now(),
+            result: result_tx.clone(),
+        };
+        // Admission slots are acquired in node order, so concurrent split
+        // jobs cannot hold-and-wait in a cycle.
+        admission.acquire();
+        if queue.send(NodeTask::Stripe(Box::new(task))).is_err() {
+            admission.release();
+            completion.resolve(Err(RunError::InvalidSpec(
+                "sharded backend shut down mid-split".to_owned(),
+            )));
+            return;
+        }
+    }
+    drop(result_tx);
+
+    let mut outcomes: Vec<Option<(Duration, Result<RunReport, RunError>)>> =
+        (0..s).map(|_| None).collect();
+    let mut completed = 0u64;
+    while let Ok((node, queued, result)) = result_rx.recv() {
+        outcomes[node] = Some((queued, result));
+        completed += 1;
+        forward(&Event::Progress {
+            done: completed,
+            total: s as u64,
+        });
+        if completed == s as u64 {
+            break;
+        }
+    }
+    let chains_time = start.elapsed();
+
+    // Any stripe failure fails the job; completed iterations aggregate
+    // over every stripe (finished and stopped alike).
+    let mut reports: Vec<(usize, Duration, RunReport)> = Vec::with_capacity(s);
+    let mut first_err: Option<RunError> = None;
+    let mut total_iters = 0u64;
+    for (node, outcome) in outcomes.into_iter().enumerate() {
+        match outcome.expect("one result per stripe") {
+            (queued, Ok(report)) => {
+                total_iters += report.iterations;
+                reports.push((node, queued, report));
+            }
+            (_, Err(e)) => {
+                if let RunError::Cancelled {
+                    completed_iterations,
+                }
+                | RunError::DeadlineExceeded {
+                    completed_iterations,
+                } = &e
+                {
+                    total_iters += completed_iterations;
+                }
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(err) = first_err {
+        let err = match err {
+            RunError::Cancelled { .. } => RunError::Cancelled {
+                completed_iterations: total_iters,
+            },
+            RunError::DeadlineExceeded { .. } => RunError::DeadlineExceeded {
+                completed_iterations: total_iters,
+            },
+            other => other,
+        };
+        completion.resolve(Err(err));
+        return;
+    }
+
+    // Merge the per-node detections through the blind scheme's full
+    // merge path. Step 1, the core-centre filter: a detection centred
+    // outside its own core stripe (beyond the merge_eps knife-edge
+    // tolerance — see the deviation note in `run_blind_ctx`) is a
+    // neighbour's artifact seen through the overlap margin and is
+    // dropped, exactly as blind deletes "beads whose centre is not
+    // inside the dotted line". Step 2: cluster the survivors.
+    forward(&Event::PhaseStarted { phase: "merge" });
+    let merge_start = Instant::now();
+    let mut candidates = Vec::new();
+    for (node, _, report) in &reports {
+        let ext = extended[*node];
+        let tolerant_core = cores[*node].inflate(merge_eps.ceil() as i64);
+        for c in report.detected() {
+            let global = Circle::new(c.x + ext.x0 as f64, c.y + ext.y0 as f64, c.r);
+            if !tolerant_core.contains_point(global.x, global.y) {
+                continue;
+            }
+            let covered_by = extended
+                .iter()
+                .filter(|r| r.contains_point(global.x, global.y))
+                .count();
+            candidates.push(MergeCandidate {
+                source: *node,
+                circle: global,
+                in_overlap: covered_by >= 2,
+            });
+        }
+    }
+    let outcome = cluster_duplicates(&candidates, merge_eps, dispute == DisputePolicy::Accept);
+    let model = NucleiModel::new(&image, params);
+    let config = Configuration::from_circles(&model, &outcome.merged);
+    let merge_time = merge_start.elapsed();
+
+    // Striping an exact scheme is a blind-partitioning heuristic at
+    // cluster scale; only the already-broken baseline keeps its tag.
+    let validity = match strategy.validity() {
+        Validity::Broken => Validity::Broken,
+        _ => Validity::Heuristic,
+    };
+    let mut report = RunReport::finish(
+        strategy.name(),
+        validity,
+        &model,
+        config,
+        start.elapsed(),
+        total_iters,
+    );
+    report.phases = vec![
+        PhaseTiming::new("chains", chains_time),
+        PhaseTiming::new("merge", merge_time),
+    ];
+    report.diagnostics.partitions = s;
+    report.diagnostics.notes.push(format!(
+        "sharded-split: {s} node stripes, merged_pairs={}, disputed={}",
+        outcome.merged_pairs, outcome.disputed
+    ));
+    for (node, queued, stripe) in &reports {
+        report.diagnostics.notes.push(format!(
+            "node-{node}: iters={}, circles={}",
+            stripe.iterations,
+            stripe.detected().len()
+        ));
+        report.node_timings.push(NodeTiming {
+            node: NodeId(*node),
+            queued: *queued,
+            busy: stripe.total_time,
+        });
+    }
+
+    completion.resolve(Ok(report));
+}

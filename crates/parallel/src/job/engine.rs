@@ -1,0 +1,163 @@
+//! The submission front-end: validation, id minting, handle wiring.
+
+use crate::job::backend::{
+    BatchResult, ExecutionBackend, LocalBackend, PreparedJob, ShardedBackend,
+};
+use crate::job::ctx::CancelToken;
+use crate::job::error::RunError;
+use crate::job::handle::{Batch, JobHandle};
+use crate::job::spec::{JobId, JobSpec};
+use crossbeam::channel::{unbounded, Sender};
+use pmcmc_runtime::{ClusterTopology, WorkerPool};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The shared execution service: jobs are validated and wired up here,
+/// then handed to a pluggable [`ExecutionBackend`] that decides where
+/// they run. The default [`LocalBackend`] keeps the historical shape —
+/// one shared [`WorkerPool`] every job fans its parallel stages onto, one
+/// detached driver thread per job, submission never blocks. A
+/// [`ShardedBackend`] instead simulates the eq. (4) `s × t` cluster:
+/// per-node pools, bounded admission (submission *does* throttle there),
+/// LPT placement.
+pub struct Engine {
+    backend: Arc<dyn ExecutionBackend>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine on a [`LocalBackend`] with its own pool of
+    /// `threads` workers.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when `threads` is zero.
+    pub fn new(threads: usize) -> Result<Self, RunError> {
+        Ok(Self::with_backend(LocalBackend::new(threads)?))
+    }
+
+    /// Creates an engine on a [`LocalBackend`] over an existing shared
+    /// pool.
+    #[must_use]
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        Self::with_backend(LocalBackend::with_pool(pool))
+    }
+
+    /// Creates an engine on a [`ShardedBackend`] simulating the given
+    /// `s × t` cluster (whole-job placement; see
+    /// [`ShardedBackend::placement`] for stripe-splitting).
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] for a degenerate topology.
+    pub fn sharded(topology: ClusterTopology) -> Result<Self, RunError> {
+        Ok(Self::with_backend(ShardedBackend::new(topology)?))
+    }
+
+    /// Creates an engine on any execution backend.
+    #[must_use]
+    pub fn with_backend(backend: impl ExecutionBackend + 'static) -> Self {
+        Self {
+            backend: Arc::new(backend),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend this engine submits to.
+    #[must_use]
+    pub fn backend(&self) -> &dyn ExecutionBackend {
+        &*self.backend
+    }
+
+    /// The backend's primary worker pool (its only pool for the local
+    /// backend; node 0's pool for a cluster).
+    #[must_use]
+    pub fn pool(&self) -> &WorkerPool {
+        self.backend.primary_pool()
+    }
+
+    /// Validates and submits one job; returns with a handle as soon as
+    /// the backend accepts the job. The local backend accepts instantly.
+    /// The sharded backend *blocks for admission* when every node is
+    /// saturated — bounded in-flight is its contract — and that block
+    /// lasts until a node slot frees (an in-flight job finishes or is
+    /// cancelled from another thread). The submitter has no handle yet
+    /// during the wait, so a throttled submission cannot be timed out or
+    /// cancelled from the submitting thread itself.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when the spec fails validation or the
+    /// backend cannot launch the job.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, RunError> {
+        spec.validate()?;
+        let (job, handle) = self.prepare(spec, None);
+        self.backend.launch(job)?;
+        Ok(handle)
+    }
+
+    /// Validates and submits N jobs as a batch sharing the backend;
+    /// per-job reports stream through [`Batch::next_finished`] as they
+    /// complete. The backend chooses the launch order
+    /// ([`ExecutionBackend::batch_order`] — LPT for clusters), while
+    /// results keep their submission indices.
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] when any spec fails validation (no job
+    /// is started in that case). If the backend fails to launch a job
+    /// mid-batch, the already-started jobs are cancelled before the error
+    /// returns.
+    pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Result<Batch, RunError> {
+        for spec in &specs {
+            spec.validate()?;
+        }
+        let (done_tx, done_rx) = unbounded();
+        let mut jobs: Vec<Option<PreparedJob>> = Vec::with_capacity(specs.len());
+        let mut handles: Vec<JobHandle> = Vec::with_capacity(specs.len());
+        for (idx, spec) in specs.into_iter().enumerate() {
+            let (job, handle) = self.prepare(spec, Some((idx, done_tx.clone())));
+            jobs.push(Some(job));
+            handles.push(handle);
+        }
+        drop(done_tx);
+        let weights: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.as_ref().expect("not launched yet").weight())
+            .collect();
+        for idx in self.backend.batch_order(&weights) {
+            let job = jobs[idx].take().expect("each job launched once");
+            if let Err(e) = self.backend.launch(job) {
+                for started in &handles {
+                    started.cancel();
+                }
+                return Err(e);
+            }
+        }
+        let remaining = handles.len();
+        Ok(Batch::new(handles, done_rx, remaining))
+    }
+
+    /// Wires up the cancel token, event channel and completion channel
+    /// for one validated spec, pairing the backend-bound [`PreparedJob`]
+    /// with the caller's [`JobHandle`].
+    fn prepare(
+        &self,
+        spec: JobSpec,
+        batch: Option<(usize, Sender<BatchResult>)>,
+    ) -> (PreparedJob, JobHandle) {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cancel = CancelToken::new();
+        let (event_tx, event_rx) = unbounded();
+        let (done_tx, done_rx) = unbounded();
+        let finished = Arc::new(AtomicBool::new(false));
+        let strategy_name = spec.strategy.name();
+        let job = PreparedJob::new(
+            id,
+            spec,
+            cancel.clone(),
+            event_tx,
+            done_tx,
+            batch,
+            Arc::clone(&finished),
+        );
+        let handle = JobHandle::new(id, strategy_name, cancel, event_rx, done_rx, finished);
+        (job, handle)
+    }
+}

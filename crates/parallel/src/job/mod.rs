@@ -1,0 +1,63 @@
+//! The typed, observable job layer: `JobSpec` → [`Engine::submit`] →
+//! [`JobHandle`].
+//!
+//! The [`crate::engine`] module defines *what* runs (a
+//! [`Strategy`](crate::engine::Strategy) on a
+//! [`RunRequest`](crate::engine::RunRequest)); this module defines *how a
+//! service runs it*: jobs are described by an owned, validated [`JobSpec`]
+//! (strategy, image, parameters, seed, iteration budget, deadline,
+//! checkpoint interval), submitted onto a shared [`Engine`] and observed
+//! while in flight through a [`JobHandle`] — progress [`Event`]s via an
+//! observer callback or a channel, cooperative cancellation via
+//! [`CancelToken`], and a final `wait() -> Result<RunReport, RunError>`
+//! with structured errors instead of panics. [`Engine::submit_batch`]
+//! fans N jobs out over the same backend and streams per-job reports
+//! as they finish.
+//!
+//! *Where* jobs run is pluggable (the [`backend`] module): the default
+//! [`backend::LocalBackend`] drives everything on one machine's shared
+//! pool, while [`backend::ShardedBackend`] simulates the eq. (4) `s × t`
+//! cluster — per-node worker pools, bounded admission queues, LPT
+//! placement — behind the same `JobSpec`/`JobHandle` surface.
+//!
+//! The module tree mirrors the job lifecycle: [`spec`](JobSpec) (what to
+//! run) → [`engine`](Engine) (validate and wire up) → [`backend`] (where
+//! to run) → [`ctx`](RunCtx) (what the running strategy sees) →
+//! [`handle`](JobHandle) (what the caller holds).
+//!
+//! ```
+//! use pmcmc_core::ModelParams;
+//! use pmcmc_imaging::GrayImage;
+//! use pmcmc_parallel::engine::StrategySpec;
+//! use pmcmc_parallel::job::{Engine, Event, JobSpec};
+//!
+//! let engine = Engine::new(2).unwrap();
+//! let image = GrayImage::filled(64, 64, 0.1);
+//! let params = ModelParams::new(64, 64, 2.0, 8.0);
+//!
+//! let spec = JobSpec::new(StrategySpec::Sequential, image, params)
+//!     .seed(7)
+//!     .iterations(2_000)
+//!     .observer(|ev| {
+//!         if let Event::PhaseStarted { phase } = ev {
+//!             println!("entering phase {phase}");
+//!         }
+//!     });
+//! let handle = engine.submit(spec).unwrap();
+//! let report = handle.wait().unwrap();
+//! assert_eq!(report.strategy, "sequential");
+//! ```
+
+pub mod backend;
+mod ctx;
+mod engine;
+mod error;
+mod handle;
+mod spec;
+
+pub use backend::{ExecutionBackend, LocalBackend, ShardPlacement, ShardedBackend};
+pub use ctx::{CancelToken, Checkpointer, Event, ProgressCounter, RunCtx};
+pub use engine::Engine;
+pub use error::RunError;
+pub use handle::{Batch, JobHandle};
+pub use spec::{JobId, JobSpec};

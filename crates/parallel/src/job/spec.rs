@@ -1,0 +1,132 @@
+//! The owned, validated description of one run, and the job identifier.
+
+use crate::engine::StrategySpec;
+use crate::job::ctx::{Event, Observer};
+use crate::job::error::RunError;
+use pmcmc_core::ModelParams;
+use pmcmc_imaging::GrayImage;
+use std::fmt;
+use std::time::Duration;
+
+/// Opaque identifier of a submitted job, unique per
+/// [`Engine`](crate::job::Engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(pub(crate) u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// An owned, validated description of one run: which strategy, on which
+/// image, with which budget and observability knobs. Built with a fluent
+/// builder and submitted via [`Engine::submit`](crate::job::Engine::submit).
+pub struct JobSpec {
+    pub(crate) strategy: StrategySpec,
+    pub(crate) image: GrayImage,
+    pub(crate) params: ModelParams,
+    pub(crate) seed: u64,
+    pub(crate) iterations: u64,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) checkpoint_interval: Option<u64>,
+    pub(crate) progress_stride: u64,
+    pub(crate) observer: Option<Box<Observer>>,
+}
+
+impl fmt::Debug for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JobSpec")
+            .field("strategy", &self.strategy)
+            .field("image", &(self.image.width(), self.image.height()))
+            .field("seed", &self.seed)
+            .field("iterations", &self.iterations)
+            .field("deadline", &self.deadline)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("progress_stride", &self.progress_stride)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobSpec {
+    /// Creates a spec with the default budget (60 000 iterations, seed 0,
+    /// no deadline, no checkpoints).
+    #[must_use]
+    pub fn new(strategy: StrategySpec, image: GrayImage, params: ModelParams) -> Self {
+        Self {
+            strategy,
+            image,
+            params,
+            seed: 0,
+            iterations: 60_000,
+            deadline: None,
+            checkpoint_interval: None,
+            progress_stride: 1024,
+            observer: None,
+        }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the iteration budget.
+    #[must_use]
+    pub fn iterations(mut self, iterations: u64) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Bounds the run's wall time, measured from submission; exceeding it
+    /// ends the run with [`RunError::DeadlineExceeded`].
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Requests [`Event::Checkpoint`] snapshots every `iterations`.
+    #[must_use]
+    pub fn checkpoint_interval(mut self, iterations: u64) -> Self {
+        self.checkpoint_interval = Some(iterations.max(1));
+        self
+    }
+
+    /// Sets the iteration stride between progress events / token polls.
+    #[must_use]
+    pub fn progress_stride(mut self, stride: u64) -> Self {
+        self.progress_stride = stride.max(1);
+        self
+    }
+
+    /// Attaches an observer callback (in addition to the handle's event
+    /// channel); called synchronously from the job's threads.
+    #[must_use]
+    pub fn observer(mut self, observer: impl Fn(&Event) + Send + Sync + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
+    /// The strategy this spec runs.
+    #[must_use]
+    pub fn strategy(&self) -> &StrategySpec {
+        &self.strategy
+    }
+
+    /// Checks the spec for impossible workloads (the same check every
+    /// strategy re-runs via `RunRequest::validate`, so submission-time and
+    /// run-time rejection cannot drift apart).
+    ///
+    /// # Errors
+    /// [`RunError::InvalidSpec`] for a zero iteration budget, an empty
+    /// image, image/parameter dimension mismatch, or scheme options that
+    /// would panic inside a strategy (see `StrategySpec::validate`).
+    pub fn validate(&self) -> Result<(), RunError> {
+        self.strategy.validate()?;
+        crate::engine::validate_workload(self.iterations, &self.image, &self.params)
+    }
+}

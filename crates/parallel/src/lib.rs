@@ -29,6 +29,11 @@
 //! [`job::JobHandle`] with live progress [`job::Event`]s, cooperative
 //! cancellation ([`job::CancelToken`]) and structured [`job::RunError`]s;
 //! [`job::Engine::submit_batch`] streams per-job reports across N images.
+//! *Where* jobs run is pluggable ([`job::backend`]): the default
+//! [`job::LocalBackend`] keeps everything on one machine's shared pool,
+//! while [`job::ShardedBackend`] simulates the eq. (4) `s × t` cluster —
+//! per-node worker pools, bounded admission queues, LPT placement, and
+//! per-node [`engine::NodeTiming`]s in every report.
 
 #![warn(missing_docs)]
 
@@ -44,9 +49,14 @@ pub mod speculative;
 pub mod subchain;
 pub mod theory;
 
-pub use blind::{run_blind, run_blind_ctx, BlindOptions, BlindResult, DisputePolicy};
+pub use blind::{
+    cluster_duplicates, run_blind, run_blind_ctx, BlindOptions, BlindResult, DisputePolicy,
+    MergeCandidate, MergeOutcome,
+};
+#[allow(deprecated)]
+pub use engine::by_name;
 pub use engine::{
-    by_name, registry, BlindStrategy, IntelligentStrategy, Mc3Strategy, NaiveStrategy,
+    registry, BlindStrategy, IntelligentStrategy, Mc3Strategy, NaiveStrategy, NodeTiming,
     PeriodicStrategy, PhaseTiming, RunDiagnostics, RunReport, RunRequest, SequentialStrategy,
     SpeculativeStrategy, Strategy, StrategySpec, Validity, STRATEGY_NAMES,
 };
@@ -54,8 +64,8 @@ pub use intelligent::{
     run_intelligent, run_intelligent_ctx, IntelligentPartitioner, IntelligentResult,
 };
 pub use job::{
-    Batch, CancelToken, Checkpointer, Engine, Event, JobHandle, JobId, JobSpec, ProgressCounter,
-    RunCtx, RunError,
+    Batch, CancelToken, Checkpointer, Engine, Event, ExecutionBackend, JobHandle, JobId, JobSpec,
+    LocalBackend, ProgressCounter, RunCtx, RunError, ShardPlacement, ShardedBackend,
 };
 pub use mc3par::{run_mc3_parallel, run_mc3_parallel_ctx, Mc3Report};
 pub use naive::{run_naive, run_naive_ctx, NaiveOptions, NaivePrior, NaiveResult};

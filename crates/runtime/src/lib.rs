@@ -16,13 +16,21 @@
 //!   one MCMC iteration.
 //! * [`scheduler`] — pure LPT ordering and makespan prediction, testable in
 //!   isolation.
+//! * [`cluster`] — the eq. (4) `s × t` topology shape ([`ClusterTopology`],
+//!   [`NodeId`]) and the per-node [`Admission`] semaphore the sharded
+//!   execution backend builds its simulated multi-node cluster from.
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod pool;
 pub mod scheduler;
 pub mod team;
 
+pub use cluster::{Admission, ClusterTopology, NodeId};
 pub use pool::{PoolStats, WorkerPool};
-pub use scheduler::{list_schedule_makespan, lpt_makespan, lpt_order, makespan_lower_bound};
+pub use scheduler::{
+    list_schedule_makespan, list_schedule_makespan_naive, lpt_makespan, lpt_order,
+    makespan_lower_bound,
+};
 pub use team::SpinTeam;

@@ -23,10 +23,64 @@ pub fn lpt_order(weights: &[f64]) -> Vec<usize> {
     idx
 }
 
+/// A machine's running load, ordered so a min-heap pops the least-loaded
+/// machine — ties broken by the lowest worker index, matching the "first
+/// minimum" the naive linear scan picks (so the two implementations make
+/// identical placement decisions, float-for-float).
+#[derive(PartialEq)]
+struct Slot {
+    load: f64,
+    worker: usize,
+}
+
+impl Eq for Slot {}
+
+impl PartialOrd for Slot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Slot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.load
+            .total_cmp(&other.load)
+            .then(self.worker.cmp(&other.worker))
+    }
+}
+
 /// Simulates greedy list scheduling of `weights` (in the given order) onto
 /// `workers` identical machines and returns the resulting makespan.
+///
+/// Runs in `O(n log m)` via a binary min-heap over machine loads; the
+/// `O(n·m)` linear-scan reference survives as
+/// [`list_schedule_makespan_naive`] and the two are property-tested to
+/// agree exactly on random weight vectors.
 #[must_use]
 pub fn list_schedule_makespan(weights: &[f64], order: &[usize], workers: usize) -> f64 {
+    assert!(workers >= 1, "need at least one worker");
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<Slot>> = (0..workers)
+        .map(|worker| Reverse(Slot { load: 0.0, worker }))
+        .collect();
+    for &i in order {
+        // Next task goes to the least-loaded machine.
+        let Reverse(Slot { load, worker }) = heap.pop().expect("workers >= 1");
+        heap.push(Reverse(Slot {
+            load: load + weights[i],
+            worker,
+        }));
+    }
+    heap.into_iter()
+        .map(|Reverse(slot)| slot.load)
+        .fold(0.0, f64::max)
+}
+
+/// The original `O(n·m)` linear-min-scan list scheduler, kept as the
+/// reference implementation the heap version is property-tested against.
+#[must_use]
+pub fn list_schedule_makespan_naive(weights: &[f64], order: &[usize], workers: usize) -> f64 {
     assert!(workers >= 1, "need at least one worker");
     let mut loads = vec![0.0f64; workers];
     for &i in order {
@@ -70,6 +124,46 @@ mod tests {
     #[test]
     fn lpt_order_empty() {
         assert!(lpt_order(&[]).is_empty());
+    }
+
+    #[test]
+    fn lpt_order_ties_are_stable() {
+        // Equal weights keep their original relative order.
+        let w = [2.0, 1.0, 2.0, 1.0, 2.0];
+        assert_eq!(lpt_order(&w), vec![0, 2, 4, 1, 3]);
+        let uniform = [3.5; 6];
+        assert_eq!(lpt_order(&uniform), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_weights_schedule_to_zero_makespan() {
+        assert_eq!(lpt_makespan(&[], 4), 0.0);
+        assert_eq!(list_schedule_makespan(&[], &[], 1), 0.0);
+        assert_eq!(list_schedule_makespan_naive(&[], &[], 3), 0.0);
+        // The lower bound of an empty task set is zero too.
+        assert_eq!(makespan_lower_bound(&[], 2), 0.0);
+    }
+
+    #[test]
+    fn single_worker_lpt_hits_the_exact_bound() {
+        // With m = 1 the Graham bound degenerates to LPT = OPT = Σw.
+        let w = [0.5, 9.0, 2.25, 4.0, 1.125];
+        let total: f64 = w.iter().sum();
+        assert_eq!(lpt_makespan(&w, 1), total);
+        assert_eq!(makespan_lower_bound(&w, 1), total);
+    }
+
+    #[test]
+    fn heap_and_naive_agree_on_known_inputs() {
+        let w = [7.0, 7.0, 6.0, 6.0, 5.0, 4.0, 4.0, 4.0, 3.0];
+        let order = lpt_order(&w);
+        for m in 1..=5 {
+            assert_eq!(
+                list_schedule_makespan(&w, &order, m),
+                list_schedule_makespan_naive(&w, &order, m),
+                "m={m}"
+            );
+        }
     }
 
     #[test]

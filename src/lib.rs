@@ -106,13 +106,16 @@ pub mod prelude {
     };
     pub use pmcmc_imaging::synth::{generate, generate_clustered, ClusterSpec, Scene, SceneSpec};
     pub use pmcmc_imaging::{Circle, GrayImage, Mask, PartitionGrid, Rect};
+    #[allow(deprecated)]
+    pub use pmcmc_parallel::by_name;
     pub use pmcmc_parallel::{
-        by_name, registry, run_blind, run_intelligent, run_naive, Batch, BlindOptions,
-        BlindStrategy, CancelToken, DisputePolicy, Engine, Event, IntelligentPartitioner,
-        IntelligentStrategy, JobHandle, JobId, JobSpec, Mc3Strategy, NaiveOptions, NaiveStrategy,
-        PartitionScheme, PeriodicOptions, PeriodicSampler, PeriodicStrategy, RunCtx, RunError,
-        RunReport, RunRequest, SequentialStrategy, SpeculativeSampler, SpeculativeStrategy,
-        Strategy, StrategySpec, SubChainOptions, Validity, STRATEGY_NAMES,
+        registry, run_blind, run_intelligent, run_naive, Batch, BlindOptions, BlindStrategy,
+        CancelToken, DisputePolicy, Engine, Event, ExecutionBackend, IntelligentPartitioner,
+        IntelligentStrategy, JobHandle, JobId, JobSpec, LocalBackend, Mc3Strategy, NaiveOptions,
+        NaiveStrategy, NodeTiming, PartitionScheme, PeriodicOptions, PeriodicSampler,
+        PeriodicStrategy, RunCtx, RunError, RunReport, RunRequest, SequentialStrategy,
+        ShardPlacement, ShardedBackend, SpeculativeSampler, SpeculativeStrategy, Strategy,
+        StrategySpec, SubChainOptions, Validity, STRATEGY_NAMES,
     };
-    pub use pmcmc_runtime::WorkerPool;
+    pub use pmcmc_runtime::{ClusterTopology, NodeId, WorkerPool};
 }
