@@ -8,7 +8,10 @@
 //! Emits `BENCH_cluster.json` at the repo root as the perf baseline for
 //! future PRs.
 
-use pmcmc_bench::{json_escape, print_header, quick_mode, section7_workload, write_bench_artifact};
+use pmcmc_bench::{
+    host_meta_json, json_escape, perf_json, print_header, quick_mode, section7_workload,
+    write_bench_artifact,
+};
 use pmcmc_parallel::engine::StrategySpec;
 use pmcmc_parallel::job::{Engine, JobSpec, ShardPlacement, ShardedBackend};
 use pmcmc_parallel::report::{fmt_f, fmt_secs, Table};
@@ -20,6 +23,7 @@ const JOBS: usize = 4;
 
 fn main() {
     print_header("CLUSTER: sharded backend vs eq. (4)", "sec VI, eq. (4)");
+    let perf_start = pmcmc_core::perf::snapshot();
     let w = section7_workload(42);
     let budget: u64 = std::env::var("PMCMC_BENCH_ITERS")
         .ok()
@@ -140,9 +144,15 @@ fn main() {
         report.diagnostics.partitions
     ));
 
+    // Whole-run counter totals: pack rows overlap on the node drivers, so
+    // per-row attribution would double-count — the aggregate is exact.
+    let perf_total = pmcmc_core::perf::snapshot().since(&perf_start);
     let json = format!(
-        "{{\n  \"bench\": \"cluster_backend\",\n  \"mode\": \"{}\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"cluster_backend\",\n  \"mode\": \"{}\",\n  \
+         \"host\": {},\n  \"perf_total\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
         if quick_mode() { "quick" } else { "full" },
+        host_meta_json(),
+        perf_json(&perf_total),
         json_rows.join(",\n"),
     );
     match write_bench_artifact("BENCH_cluster.json", &json) {

@@ -9,7 +9,8 @@
 //! other job.
 
 use pmcmc_bench::{
-    bench_iters, json_escape, print_header, quick_mode, section7_workload, write_bench_artifact,
+    bench_iters, host_meta_json, json_escape, perf_json, print_header, quick_mode,
+    section7_workload, write_bench_artifact,
 };
 use pmcmc_core::match_circles;
 use pmcmc_parallel::engine::StrategySpec;
@@ -41,6 +42,8 @@ fn main() {
             "runtime",
             "fraction of seq",
             "partitions",
+            "Mpixels",
+            "spin ms",
         ],
     );
 
@@ -61,6 +64,7 @@ fn main() {
             seq_time = Some(secs);
         }
         let frac = seq_time.map_or_else(|| "-".to_owned(), |t| fmt_f(secs / t, 3));
+        let perf = report.diagnostics.perf.unwrap_or_default();
         table.push_row(vec![
             report.strategy.clone(),
             report.validity.label().to_owned(),
@@ -70,11 +74,13 @@ fn main() {
             fmt_secs(secs),
             frac,
             report.diagnostics.partitions.to_string(),
+            fmt_f(perf.pixels_visited as f64 / 1e6, 1),
+            fmt_f(perf.spin_wait_ns as f64 / 1e6, 1),
         ]);
         json_rows.push(format!(
             "    {{\"strategy\": \"{}\", \"validity\": \"{}\", \"found\": {}, \
              \"f1\": {:.4}, \"anomalies\": {}, \"runtime_s\": {:.6}, \
-             \"fraction_of_seq\": {}, \"partitions\": {}}}",
+             \"fraction_of_seq\": {}, \"partitions\": {}, \"perf\": {}}}",
             json_escape(&report.strategy),
             json_escape(report.validity.label()),
             report.detected().len(),
@@ -83,6 +89,7 @@ fn main() {
             secs,
             seq_time.map_or_else(|| "null".to_owned(), |t| format!("{:.4}", secs / t)),
             report.diagnostics.partitions,
+            perf_json(&perf),
         ));
     }
     println!("{}", table.render());
@@ -94,10 +101,12 @@ fn main() {
     // Machine-readable baseline for future PRs to diff against.
     let json = format!(
         "{{\n  \"bench\": \"strategy_matrix\",\n  \"mode\": \"{}\",\n  \
-         \"iterations\": {},\n  \"workers\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"iterations\": {},\n  \"workers\": {},\n  \"host\": {},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
         if quick_mode() { "quick" } else { "full" },
         iters,
         engine.pool().threads(),
+        host_meta_json(),
         json_rows.join(",\n"),
     );
     match write_bench_artifact("BENCH_strategy_matrix.json", &json) {

@@ -1,0 +1,218 @@
+//! Bench regression guard: re-runs the strategy-matrix sweep in quick
+//! mode and compares each scheme's runtime (as a fraction of the
+//! sequential baseline) against the checked-in `BENCH_strategy_matrix.json`.
+//!
+//! Exit status is the contract: 0 when every scheme is within the noise
+//! band, 1 when any scheme regressed. Two checks:
+//!
+//! * every strategy's `fraction_of_seq` must stay within 25% of the
+//!   checked-in baseline (quick-mode wall clocks are noisy; 25% is wide
+//!   enough for scheduler jitter, narrow enough to catch real cliffs);
+//! * the speculative scheme is additionally pinned to an absolute
+//!   `fraction_of_seq` of at most 2.0 — the regression that motivated the
+//!   perf-counter work was a 234x cliff, and a relative band on a broken
+//!   baseline would wave it through.
+//!
+//! Run via `PMCMC_BENCH_QUICK=1 cargo run --release -p pmcmc-bench --bin
+//! bench_guard` (CI does exactly this).
+
+use pmcmc_bench::{bench_iters, quick_mode, section7_workload};
+use pmcmc_parallel::engine::StrategySpec;
+use pmcmc_parallel::job::{Engine, JobSpec};
+
+/// Relative headroom over the checked-in baseline fraction.
+const MAX_REGRESSION: f64 = 1.25;
+/// Absolute ceiling for the speculative scheme's fraction of sequential.
+const SPECULATIVE_CEILING: f64 = 2.0;
+
+fn main() {
+    if !quick_mode() {
+        // The guard compares against the quick-mode baseline; a full-mode
+        // run would diff apples against oranges.
+        std::env::set_var("PMCMC_BENCH_QUICK", "1");
+    }
+    let baseline_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_strategy_matrix.json");
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            // No baseline to regress against (fresh checkout before the
+            // first bench run): nothing to enforce.
+            println!(
+                "bench_guard: no baseline at {} ({e}); skipping",
+                baseline_path.display()
+            );
+            return;
+        }
+    };
+    let baseline = parse_fractions(&baseline_json);
+    if baseline.is_empty() {
+        eprintln!("bench_guard: baseline file has no parsable rows");
+        std::process::exit(1);
+    }
+
+    let fractions = measure_fractions();
+    let mut failed = false;
+    for (strategy, frac) in &fractions {
+        let verdicts = check(strategy, *frac, &baseline);
+        for (ok, msg) in verdicts {
+            println!("{} {msg}", if ok { "PASS" } else { "FAIL" });
+            failed |= !ok;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench_guard: all strategies within the regression band");
+}
+
+/// Runs every check applicable to one measured strategy fraction.
+fn check(strategy: &str, frac: f64, baseline: &[(String, f64)]) -> Vec<(bool, String)> {
+    let mut out = Vec::new();
+    if let Some((_, base)) = baseline.iter().find(|(name, _)| name == strategy) {
+        let limit = base * MAX_REGRESSION;
+        out.push((
+            frac <= limit,
+            format!(
+                "{strategy}: fraction_of_seq {frac:.4} vs baseline {base:.4} \
+                 (limit {limit:.4})"
+            ),
+        ));
+    } else {
+        // A scheme added since the baseline was refreshed has no band yet.
+        out.push((true, format!("{strategy}: no baseline row, skipped")));
+    }
+    if strategy == "speculative" {
+        out.push((
+            frac <= SPECULATIVE_CEILING,
+            format!(
+                "speculative: fraction_of_seq {frac:.4} under absolute \
+                 ceiling {SPECULATIVE_CEILING:.1}"
+            ),
+        ));
+    }
+    out
+}
+
+/// Extracts `(strategy, fraction_of_seq)` pairs from the checked-in
+/// artefact by plain string scanning — the artefact is machine-written
+/// one row per line, and the workspace carries no JSON parser.
+fn parse_fractions(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = extract_str(line, "\"strategy\": \"") else {
+            continue;
+        };
+        let Some(frac) = extract_num(line, "\"fraction_of_seq\": ") else {
+            continue;
+        };
+        out.push((name, frac));
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_owned())
+}
+
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Sweeps run per measurement; per-strategy minima tame scheduler noise
+/// (a loaded host inflates wall clocks, never deflates them).
+const SWEEPS: usize = 2;
+
+/// Re-runs the strategy-matrix sweep `SWEEPS` times and returns each
+/// scheme's best runtime as a fraction of sequential's best.
+fn measure_fractions() -> Vec<(String, f64)> {
+    let w = section7_workload(42);
+    let iters = bench_iters();
+    let engine = Engine::new(4).expect("worker count is positive");
+    println!(
+        "bench_guard: quick sweep x{SWEEPS}, {}x{} image, {} iterations",
+        w.image.width(),
+        w.image.height(),
+        iters
+    );
+    let mut best: Vec<(String, f64)> = Vec::new();
+    for _ in 0..SWEEPS {
+        for spec in StrategySpec::all() {
+            let job = JobSpec::new(spec, w.image.clone(), w.model.params.clone())
+                .seed(7)
+                .iterations(iters);
+            let report = engine
+                .submit(job)
+                .expect("job spec is valid")
+                .wait()
+                .expect("guard sweep runs to completion");
+            let secs = report.total_time.as_secs_f64();
+            match best.iter_mut().find(|(name, _)| *name == report.strategy) {
+                Some((_, t)) => *t = t.min(secs),
+                None => best.push((report.strategy.clone(), secs)),
+            }
+        }
+    }
+    let seq = best
+        .iter()
+        .find(|(name, _)| name == "sequential")
+        .map_or(1.0, |(_, t)| *t);
+    best.into_iter()
+        .map(|(name, secs)| (name, secs / seq))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "rows": [
+    {"strategy": "sequential", "fraction_of_seq": 1.0000, "partitions": 1},
+    {"strategy": "speculative", "fraction_of_seq": 1.1000, "partitions": 4}
+  ]
+}"#;
+
+    #[test]
+    fn parses_fractions_from_artifact_rows() {
+        let rows = parse_fractions(SAMPLE);
+        assert_eq!(
+            rows,
+            vec![
+                ("sequential".to_owned(), 1.0),
+                ("speculative".to_owned(), 1.1)
+            ]
+        );
+    }
+
+    #[test]
+    fn check_flags_relative_and_absolute_regressions() {
+        let baseline = parse_fractions(SAMPLE);
+        // Within band.
+        assert!(check("sequential", 1.2, &baseline)
+            .iter()
+            .all(|(ok, _)| *ok));
+        // Relative regression.
+        assert!(check("sequential", 1.3, &baseline)
+            .iter()
+            .any(|(ok, _)| !ok));
+        // Speculative over the absolute ceiling fails even when a (stale)
+        // baseline would allow it.
+        let stale = vec![("speculative".to_owned(), 234.4)];
+        assert!(check("speculative", 3.0, &stale).iter().any(|(ok, _)| !ok));
+        // Unknown strategy passes with a note.
+        assert!(check("new-scheme", 9.9, &baseline)
+            .iter()
+            .all(|(ok, _)| *ok));
+    }
+}

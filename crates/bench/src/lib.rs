@@ -173,6 +173,52 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Short git revision of the working tree, or `"unknown"` when git is
+/// unavailable (e.g. an exported tarball).
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Host metadata as a JSON object fragment, recorded into every
+/// `BENCH_*.json` artefact so baselines from different machines or modes
+/// are never diffed against each other blindly.
+#[must_use]
+pub fn host_meta_json() -> String {
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    format!(
+        "{{\"logical_cores\": {cores}, \"mode\": \"{}\", \"git_rev\": \"{}\"}}",
+        if quick_mode() { "quick" } else { "full" },
+        json_escape(&git_rev())
+    )
+}
+
+/// A perf-counter snapshot as a JSON object fragment for bench artefacts.
+#[must_use]
+pub fn perf_json(p: &pmcmc_core::PerfSnapshot) -> String {
+    format!(
+        "{{\"proposals_evaluated\": {}, \"pixels_visited\": {}, \
+         \"pair_count_queries\": {}, \"pair_cache_hits\": {}, \
+         \"rng_refills\": {}, \"spin_wait_ns\": {}, \"spec_rounds\": {}}}",
+        p.proposals_evaluated,
+        p.pixels_visited,
+        p.pair_count_queries,
+        p.pair_cache_hits,
+        p.rng_refills,
+        p.spin_wait_ns,
+        p.spec_rounds,
+    )
+}
+
 /// Writes a machine-readable bench artefact (`BENCH_*.json`) at the
 /// repository root, so successive PRs can diff perf baselines. Returns
 /// the path written.
@@ -214,6 +260,40 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("line1\nline2\t."), "line1\\nline2\\t.");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn host_meta_json_has_expected_fields() {
+        let meta = host_meta_json();
+        assert!(meta.starts_with('{') && meta.ends_with('}'));
+        assert!(meta.contains("\"logical_cores\": "));
+        assert!(meta.contains("\"mode\": "));
+        assert!(meta.contains("\"git_rev\": "));
+    }
+
+    #[test]
+    fn perf_json_renders_every_counter() {
+        let p = pmcmc_core::PerfSnapshot {
+            proposals_evaluated: 1,
+            pixels_visited: 2,
+            pair_count_queries: 3,
+            pair_cache_hits: 4,
+            rng_refills: 5,
+            spin_wait_ns: 6,
+            spec_rounds: 7,
+        };
+        let json = perf_json(&p);
+        for field in [
+            "\"proposals_evaluated\": 1",
+            "\"pixels_visited\": 2",
+            "\"pair_count_queries\": 3",
+            "\"pair_cache_hits\": 4",
+            "\"rng_refills\": 5",
+            "\"spin_wait_ns\": 6",
+            "\"spec_rounds\": 7",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
     }
 
     #[test]

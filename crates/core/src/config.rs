@@ -12,6 +12,11 @@ use crate::model::NucleiModel;
 use crate::spatial::SpatialGrid;
 use pmcmc_imaging::{Circle, Rect};
 
+/// Maximum disks the stack-allocated span walker of
+/// [`Configuration::delta_log_lik_readonly`] handles (every built-in move
+/// touches at most 3).
+const SPAN_DISKS: usize = 4;
+
 /// A reversible state change: remove some circles (by index), then add some
 /// circles. Every move kind reduces to an `Edit`.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,13 +89,34 @@ impl Receipt {
 }
 
 /// The mutable chain state.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Configuration {
     circles: Vec<Circle>,
     coverage: CoverageGrid,
     spatial: SpatialGrid,
     log_lik: f64,
     overlap_area: f64,
+    /// Memoised `(max_dist.to_bits(), count)` from the last close-pair
+    /// count, invalidated by any circle-list mutation. Split proposals
+    /// query the *same* base count every iteration (the after-edit count
+    /// starts from it), so between accepted moves this turns an O(k)
+    /// spatial sweep into a load. A `Mutex` (uncontended: one lock per
+    /// query) rather than a `Cell` so `Configuration` stays `Sync` for
+    /// the speculative lanes that share `&Configuration`.
+    pair_cache: std::sync::Mutex<Option<(u64, usize)>>,
+}
+
+impl Clone for Configuration {
+    fn clone(&self) -> Self {
+        Self {
+            circles: self.circles.clone(),
+            coverage: self.coverage.clone(),
+            spatial: self.spatial.clone(),
+            log_lik: self.log_lik,
+            overlap_area: self.overlap_area,
+            pair_cache: std::sync::Mutex::new(*self.pair_cache.lock().unwrap()),
+        }
+    }
 }
 
 impl Configuration {
@@ -104,6 +130,7 @@ impl Configuration {
             spatial: SpatialGrid::new(w, h, 2.0 * model.r_max()),
             log_lik: 0.0,
             overlap_area: 0.0,
+            pair_cache: std::sync::Mutex::new(None),
         }
     }
 
@@ -224,6 +251,7 @@ impl Configuration {
     /// # Panics
     /// Panics if removal indices are out of range or duplicated.
     pub fn apply(&mut self, edit: &Edit, model: &NucleiModel) -> Receipt {
+        self.invalidate_pair_cache();
         let gain = &model.gain;
         let mut d_log_lik = 0.0;
         let mut d_overlap = 0.0;
@@ -283,8 +311,13 @@ impl Configuration {
     /// done by the tile worker.
     pub(crate) fn update_circle_in_place(&mut self, idx: usize, old: Circle, new: Circle) {
         debug_assert_eq!(self.circles[idx], old, "tile update against stale master");
+        self.invalidate_pair_cache();
         self.spatial.relocate(idx, &old, &new);
         self.circles[idx] = new;
+    }
+
+    fn invalidate_pair_cache(&mut self) {
+        *self.pair_cache.get_mut().unwrap() = None;
     }
 
     /// Adds externally computed cache deltas (tile merging).
@@ -315,19 +348,137 @@ impl Configuration {
     /// `count − #removed disks covering it + #added disks covering it`.
     #[must_use]
     pub fn delta_log_lik_readonly(&self, edit: &Edit, model: &NucleiModel) -> f64 {
+        // Every RJMCMC move touches at most three disks (merge: 2 removed +
+        // 1 added; split: 1 removed + 2 added); the allocation-free span
+        // walker handles up to four. Larger edits (batch manipulations from
+        // drivers) fall back to the general per-pixel scan.
+        if edit.remove.len() + edit.add.len() <= SPAN_DISKS {
+            self.delta_log_lik_spans(edit, model)
+        } else {
+            self.delta_log_lik_general(edit, model)
+        }
+    }
+
+    /// Allocation-free row-span evaluation of the likelihood delta for
+    /// edits touching at most [`SPAN_DISKS`] disks. For each image row the
+    /// affected disks' pixel spans are computed with the exact arithmetic
+    /// of [`crate::coverage::for_each_disk_pixel`], merged, and walked
+    /// once; span membership replaces the per-pixel `covers_pixel` float
+    /// tests, and coverage counts / gains are read through row slices so
+    /// the inner loop is a branch-light linear scan.
+    fn delta_log_lik_spans(&self, edit: &Edit, model: &NucleiModel) -> f64 {
+        let frame = self.coverage.rect();
+        // (circle, is_add), removed first — order is immaterial, each union
+        // pixel is visited exactly once.
+        let mut disks = [(Circle::new(0.0, 0.0, 0.0), false); SPAN_DISKS];
+        let mut nd = 0;
+        for &i in &edit.remove {
+            disks[nd] = (self.circles[i], false);
+            nd += 1;
+        }
+        for &c in &edit.add {
+            disks[nd] = (c, true);
+            nd += 1;
+        }
+        if nd == 0 {
+            return 0.0;
+        }
+        let disks = &disks[..nd];
+        let mut y0 = i64::MAX;
+        let mut y1 = i64::MIN;
+        for (c, _) in disks {
+            y0 = y0.min(((c.y - c.r - 0.5).ceil() as i64).max(frame.y0));
+            y1 = y1.max(((c.y + c.r - 0.5).floor() as i64).min(frame.y1 - 1));
+        }
+        let mut delta = 0.0;
+        let mut pixels = 0u64;
+        for py in y0..=y1 {
+            // Per-disk spans [x0, x1] on this row (empty spans skipped).
+            let mut spans = [(0i64, 0i64, false); SPAN_DISKS];
+            let mut ns = 0;
+            for &(c, is_add) in disks {
+                let dy = py as f64 + 0.5 - c.y;
+                let h2 = c.r * c.r - dy * dy;
+                if h2 < 0.0 {
+                    continue;
+                }
+                let h = h2.sqrt();
+                let x0 = ((c.x - h - 0.5).ceil() as i64).max(frame.x0);
+                let x1 = ((c.x + h - 0.5).floor() as i64).min(frame.x1 - 1);
+                if x0 > x1 {
+                    continue;
+                }
+                spans[ns] = (x0, x1, is_add);
+                ns += 1;
+            }
+            if ns == 0 {
+                continue;
+            }
+            // Insertion-sort by x0 (ns <= 4).
+            for i in 1..ns {
+                let mut j = i;
+                while j > 0 && spans[j - 1].0 > spans[j].0 {
+                    spans.swap(j - 1, j);
+                    j -= 1;
+                }
+            }
+            let cov_row = self.coverage.row(py);
+            let gain_row = model.gain.row(py as u32);
+            let spans = &spans[..ns];
+            let mut i = 0;
+            while i < ns {
+                // Grow one merged (contiguous) union run.
+                let lo = spans[i].0;
+                let mut hi = spans[i].1;
+                let mut j = i + 1;
+                while j < ns && spans[j].0 <= hi + 1 {
+                    hi = hi.max(spans[j].1);
+                    j += 1;
+                }
+                for x in lo..=hi {
+                    let mut minus = 0i64;
+                    let mut plus = 0i64;
+                    for &(sx0, sx1, is_add) in spans {
+                        if x >= sx0 && x <= sx1 {
+                            if is_add {
+                                plus += 1;
+                            } else {
+                                minus += 1;
+                            }
+                        }
+                    }
+                    let count = i64::from(cov_row[(x - frame.x0) as usize]);
+                    let pre = count > 0;
+                    let post = count - minus + plus > 0;
+                    if pre != post {
+                        let g = gain_row[x as usize];
+                        delta += if post { g } else { -g };
+                    }
+                }
+                pixels += (hi - lo + 1) as u64;
+                i = j;
+            }
+        }
+        crate::perf::add_pixels_visited(pixels);
+        delta
+    }
+
+    /// General per-pixel evaluation (any disk count): visit the union of
+    /// all affected disks, counting each pixel once — a pixel is handled by
+    /// the first disk (in removed ++ added order) that covers it.
+    fn delta_log_lik_general(&self, edit: &Edit, model: &NucleiModel) -> f64 {
         let gain = &model.gain;
         let removed: Vec<Circle> = edit.remove.iter().map(|&i| self.circles[i]).collect();
         let mut delta = 0.0;
+        let mut pixels = 0u64;
         let frame = self.coverage.rect();
-        // Visit the union of all affected disks, counting each pixel once:
-        // a pixel is handled by the first disk (in removed ++ added order)
-        // that covers it.
         let all: Vec<&Circle> = removed.iter().chain(edit.add.iter()).collect();
         for (di, disk) in all.iter().enumerate() {
             crate::coverage::for_each_disk_pixel(disk, &frame, |x, y| {
                 if all[..di].iter().any(|d| d.covers_pixel(x, y)) {
                     return; // already handled by an earlier disk
                 }
+                pixels += 1;
                 let count = i64::from(self.coverage.count(x, y));
                 let minus = removed.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
                 let plus = edit.add.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
@@ -339,6 +490,7 @@ impl Configuration {
                 }
             });
         }
+        crate::perf::add_pixels_visited(pixels);
         delta
     }
 
@@ -402,14 +554,35 @@ impl Configuration {
     }
 
     /// Counts unordered pairs of circles with centre distance below
-    /// `max_dist` (merge candidates).
+    /// `max_dist` (merge candidates). Counts via the spatial index without
+    /// materialising the pair list; the result is memoised until the next
+    /// circle-list mutation.
     #[must_use]
     pub fn count_close_pairs(&self, max_dist: f64) -> usize {
-        self.list_close_pairs(max_dist).len()
+        let key = max_dist.to_bits();
+        if let Some((k, n)) = *self.pair_cache.lock().unwrap() {
+            if k == key {
+                crate::perf::record_pair_count_query(true);
+                return n;
+            }
+        }
+        crate::perf::record_pair_count_query(false);
+        let mut n = 0usize;
+        for (i, c) in self.circles.iter().enumerate() {
+            self.spatial.for_neighbors(c.x, c.y, max_dist, |j| {
+                if j > i && c.centre_distance(&self.circles[j]) < max_dist {
+                    n += 1;
+                }
+            });
+        }
+        *self.pair_cache.lock().unwrap() = Some((key, n));
+        n
     }
 
     /// Lists unordered pairs `(i, j)`, `i < j`, with centre distance below
-    /// `max_dist`.
+    /// `max_dist`. Needed where the actual pairs matter (uniform pair
+    /// selection in the merge proposal); counting callers should use
+    /// [`Configuration::count_close_pairs`].
     #[must_use]
     pub fn list_close_pairs(&self, max_dist: f64) -> Vec<(usize, usize)> {
         let mut pairs = Vec::new();
@@ -420,6 +593,9 @@ impl Configuration {
                 }
             });
         }
+        // The enumeration doubles as a count: prime the memo for the split
+        // proposals that will ask for the same base count.
+        *self.pair_cache.lock().unwrap() = Some((max_dist.to_bits(), pairs.len()));
         pairs
     }
 
@@ -633,6 +809,77 @@ mod tests {
         assert_eq!(pairs, vec![(0, 1)]);
         assert_eq!(cfg.count_close_pairs(200.0), 3);
         assert_eq!(cfg.count_close_pairs(1.0), 0);
+    }
+
+    #[test]
+    fn span_walker_matches_general_path() {
+        let m = test_model(96, 96);
+        let mut rng = Xoshiro256::new(21);
+        let mut cfg = Configuration::empty(&m);
+        for _ in 0..12 {
+            cfg.apply(
+                &Edit::add_one(Circle::new(
+                    rng.gen_range(-4.0..100.0),
+                    rng.gen_range(-4.0..100.0),
+                    rng.gen_range(3.3..16.0),
+                )),
+                &m,
+            );
+        }
+        for _ in 0..300 {
+            let n_remove = rng.gen_range(0..2usize.min(cfg.len()) + 1);
+            let mut remove = Vec::new();
+            while remove.len() < n_remove {
+                let i = rng.gen_range(0..cfg.len());
+                if !remove.contains(&i) {
+                    remove.push(i);
+                }
+            }
+            let n_add = rng.gen_range(0..SPAN_DISKS - n_remove + 1);
+            let add: Vec<Circle> = (0..n_add)
+                .map(|_| {
+                    Circle::new(
+                        rng.gen_range(-4.0..100.0),
+                        rng.gen_range(-4.0..100.0),
+                        rng.gen_range(0.4..16.0),
+                    )
+                })
+                .collect();
+            let edit = Edit { remove, add };
+            let fast = cfg.delta_log_lik_spans(&edit, &m);
+            let slow = cfg.delta_log_lik_general(&edit, &m);
+            assert!(
+                (fast - slow).abs() < 1e-9,
+                "span {fast} vs general {slow} for {edit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_cache_survives_queries_and_invalidates_on_mutation() {
+        let m = test_model(128, 128);
+        let mut cfg = Configuration::from_circles(
+            &m,
+            &[
+                Circle::new(20.0, 20.0, 8.0),
+                Circle::new(28.0, 20.0, 8.0),
+                Circle::new(100.0, 100.0, 8.0),
+            ],
+        );
+        // Repeated queries at one distance agree; switching distances
+        // (cache keyed on the exact bits) recomputes correctly.
+        assert_eq!(cfg.count_close_pairs(10.0), 1);
+        assert_eq!(cfg.count_close_pairs(10.0), 1);
+        assert_eq!(cfg.count_close_pairs(200.0), 3);
+        assert_eq!(cfg.count_close_pairs(10.0), 1);
+        // list primes the memo with its own distance.
+        assert_eq!(cfg.list_close_pairs(200.0).len(), 3);
+        assert_eq!(cfg.count_close_pairs(200.0), 3);
+        // Mutation invalidates: a new close pair must be seen.
+        cfg.apply(&Edit::add_one(Circle::new(102.0, 100.0, 8.0)), &m);
+        assert_eq!(cfg.count_close_pairs(10.0), 2);
+        cfg.apply(&Edit::remove_one(3), &m);
+        assert_eq!(cfg.count_close_pairs(10.0), 1);
     }
 
     #[test]

@@ -72,6 +72,19 @@ impl CoverageGrid {
         }
     }
 
+    /// The cover counts of row `y` (global coordinate) as a slice indexed
+    /// by `x - rect.x0`.
+    ///
+    /// # Panics
+    /// Panics if `y` lies outside the grid's region.
+    #[must_use]
+    pub fn row(&self, y: i64) -> &[u16] {
+        assert!(y >= self.rect.y0 && y < self.rect.y1, "row outside grid");
+        let w = self.rect.width() as usize;
+        let start = ((y - self.rect.y0) as usize) * w;
+        &self.counts[start..start + w]
+    }
+
     /// Adds a circle's disk; returns the log-likelihood delta (sum of gains
     /// of pixels newly covered).
     pub fn add_circle(&mut self, circle: &Circle, gain: &Gain) -> f64 {

@@ -36,6 +36,7 @@ pub mod mc3;
 pub mod model;
 pub mod moves;
 pub mod params;
+pub mod perf;
 pub mod rng;
 pub mod sampler;
 pub mod samples;
@@ -49,7 +50,8 @@ pub use matching::{match_circles, MatchResult};
 pub use mc3::Mc3;
 pub use model::NucleiModel;
 pub use params::{ModelParams, MoveKind, MoveWeights, ProposalScales};
-pub use rng::Xoshiro256;
+pub use perf::PerfSnapshot;
+pub use rng::{BatchedRng, Xoshiro256};
 pub use sampler::{evaluate_proposal, Evaluation, Sampler};
 pub use samples::{CountDistribution, SampleCollector};
 pub use tile::TileWorkspace;

@@ -77,6 +77,18 @@ impl Gain {
         self.data[(y as usize) * (self.width as usize) + (x as usize)]
     }
 
+    /// The gains of row `y` as a slice indexed by `x`.
+    ///
+    /// # Panics
+    /// Panics if `y` is outside the image.
+    #[must_use]
+    pub fn row(&self, y: u32) -> &[f64] {
+        assert!(y < self.height, "row outside image");
+        let w = self.width as usize;
+        let start = (y as usize) * w;
+        &self.data[start..start + w]
+    }
+
     /// Log-likelihood of the empty configuration (up to the Gaussian
     /// normalisation constant, which is configuration-independent).
     #[must_use]

@@ -1,0 +1,156 @@
+//! Lightweight process-wide performance counters for the §VI hot paths.
+//!
+//! The paper's cost model (eqs. (2)–(4)) prices a scheme by what its hot
+//! loop *does* — proposals evaluated, pixels touched, synchronisation
+//! wasted — not just by wall time. These counters make that attribution
+//! measurable: the hot paths increment relaxed atomics (a handful of
+//! nanoseconds, no branches on the fast path), strategies snapshot the
+//! counters around a run, and the difference lands in `RunReport`
+//! diagnostics and the `BENCH_*.json` baselines.
+//!
+//! The counters are global to the process, so attribution is exact only
+//! when runs execute one at a time (as the bench harnesses do). Concurrent
+//! runs see the union of their work — still useful for totals, not for
+//! per-run comparison.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static PROPOSALS_EVALUATED: AtomicU64 = AtomicU64::new(0);
+static PIXELS_VISITED: AtomicU64 = AtomicU64::new(0);
+static PAIR_COUNT_QUERIES: AtomicU64 = AtomicU64::new(0);
+static PAIR_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static RNG_REFILLS: AtomicU64 = AtomicU64::new(0);
+static SPIN_WAIT_NS: AtomicU64 = AtomicU64::new(0);
+static SPEC_ROUNDS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one read-only proposal evaluation.
+#[inline]
+pub fn record_proposal_evaluated() {
+    PROPOSALS_EVALUATED.fetch_add(1, Relaxed);
+}
+
+/// Records `n` pixels visited by a likelihood-delta walk.
+#[inline]
+pub fn add_pixels_visited(n: u64) {
+    PIXELS_VISITED.fetch_add(n, Relaxed);
+}
+
+/// Records one close-pair count query (`hit` when served from the cache).
+#[inline]
+pub fn record_pair_count_query(hit: bool) {
+    PAIR_COUNT_QUERIES.fetch_add(1, Relaxed);
+    if hit {
+        PAIR_CACHE_HITS.fetch_add(1, Relaxed);
+    }
+}
+
+/// Records one batched-RNG buffer refill.
+#[inline]
+pub fn record_rng_refill() {
+    RNG_REFILLS.fetch_add(1, Relaxed);
+}
+
+/// Adds nanoseconds a leader spent spin-waiting on team synchronisation.
+#[inline]
+pub fn add_spin_wait_ns(ns: u64) {
+    SPIN_WAIT_NS.fetch_add(ns, Relaxed);
+}
+
+/// Records one speculative round.
+#[inline]
+pub fn record_spec_round() {
+    SPEC_ROUNDS.fetch_add(1, Relaxed);
+}
+
+/// A point-in-time copy of every counter. Subtract two snapshots (taken
+/// around a run) with [`PerfSnapshot::since`] to attribute work to the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfSnapshot {
+    /// Read-only proposal evaluations (`evaluate_proposal` calls).
+    pub proposals_evaluated: u64,
+    /// Pixels visited by likelihood-delta walks.
+    pub pixels_visited: u64,
+    /// Close-pair count queries.
+    pub pair_count_queries: u64,
+    /// Close-pair count queries served from the configuration cache.
+    pub pair_cache_hits: u64,
+    /// Batched-RNG buffer refills.
+    pub rng_refills: u64,
+    /// Nanoseconds spent spin-waiting on team synchronisation.
+    pub spin_wait_ns: u64,
+    /// Speculative rounds executed.
+    pub spec_rounds: u64,
+}
+
+impl PerfSnapshot {
+    /// Counter increments between `start` and this snapshot (saturating,
+    /// so interleaved snapshots never underflow).
+    #[must_use]
+    pub fn since(&self, start: &PerfSnapshot) -> PerfSnapshot {
+        PerfSnapshot {
+            proposals_evaluated: self
+                .proposals_evaluated
+                .saturating_sub(start.proposals_evaluated),
+            pixels_visited: self.pixels_visited.saturating_sub(start.pixels_visited),
+            pair_count_queries: self
+                .pair_count_queries
+                .saturating_sub(start.pair_count_queries),
+            pair_cache_hits: self.pair_cache_hits.saturating_sub(start.pair_cache_hits),
+            rng_refills: self.rng_refills.saturating_sub(start.rng_refills),
+            spin_wait_ns: self.spin_wait_ns.saturating_sub(start.spin_wait_ns),
+            spec_rounds: self.spec_rounds.saturating_sub(start.spec_rounds),
+        }
+    }
+}
+
+/// Reads every counter.
+#[must_use]
+pub fn snapshot() -> PerfSnapshot {
+    PerfSnapshot {
+        proposals_evaluated: PROPOSALS_EVALUATED.load(Relaxed),
+        pixels_visited: PIXELS_VISITED.load(Relaxed),
+        pair_count_queries: PAIR_COUNT_QUERIES.load(Relaxed),
+        pair_cache_hits: PAIR_CACHE_HITS.load(Relaxed),
+        rng_refills: RNG_REFILLS.load(Relaxed),
+        spin_wait_ns: SPIN_WAIT_NS.load(Relaxed),
+        spec_rounds: SPEC_ROUNDS.load(Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_between_snapshots() {
+        let s0 = snapshot();
+        record_proposal_evaluated();
+        add_pixels_visited(42);
+        record_pair_count_query(false);
+        record_pair_count_query(true);
+        record_rng_refill();
+        add_spin_wait_ns(1000);
+        record_spec_round();
+        let d = snapshot().since(&s0);
+        // Other test threads may add on top; assert lower bounds only.
+        assert!(d.proposals_evaluated >= 1);
+        assert!(d.pixels_visited >= 42);
+        assert!(d.pair_count_queries >= 2);
+        assert!(d.pair_cache_hits >= 1);
+        assert!(d.rng_refills >= 1);
+        assert!(d.spin_wait_ns >= 1000);
+        assert!(d.spec_rounds >= 1);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let newer = snapshot();
+        record_proposal_evaluated();
+        let older_view = PerfSnapshot {
+            proposals_evaluated: newer.proposals_evaluated + 10,
+            ..newer
+        };
+        let d = newer.since(&older_view);
+        assert_eq!(d.proposals_evaluated, 0);
+    }
+}

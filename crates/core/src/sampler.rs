@@ -51,6 +51,7 @@ pub fn evaluate_proposal(
     model: &NucleiModel,
     proposal: &crate::moves::Proposal,
 ) -> Evaluation {
+    crate::perf::record_proposal_evaluated();
     let p = &model.params;
     // Support pre-check: outside the prior's support the ratio is -inf.
     if !proposal.edit.add.iter().all(|c| p.in_support(c)) {
@@ -182,9 +183,15 @@ impl<'m> Sampler<'m> {
             };
         };
 
+        // Draw the acceptance uniform *before* evaluating, unconditionally.
+        // This keeps RNG consumption a function of the proposal draw alone
+        // (never of the evaluation's outcome), which is what lets the
+        // speculative engine pre-draw per-lane streams and replay the
+        // sequential chain bit-for-bit.
+        let log_u = self.rng.gen::<f64>().ln();
         let eval = evaluate_proposal(&self.config, self.model, &proposal);
         let log_alpha = eval.log_alpha(self.beta);
-        let accept = log_alpha >= 0.0 || self.rng.gen::<f64>().ln() < log_alpha;
+        let accept = log_alpha >= 0.0 || log_u < log_alpha;
         if accept {
             self.config.apply(&proposal.edit, self.model);
             self.stats.record_accept(kind);

@@ -225,6 +225,13 @@ pub struct RunDiagnostics {
     /// Free-form scheme-specific notes (convergence iterations, merge
     /// counts, …).
     pub notes: Vec<String>,
+    /// Hot-path perf counters accumulated during the run (§VI overhead
+    /// accounting): proposals evaluated, pixels visited by the likelihood
+    /// walkers, pair-count cache traffic, RNG refills, speculative rounds
+    /// and helper spin-wait time. Counters are process-global, so the
+    /// numbers are exact only when runs don't overlap; concurrent runs
+    /// (e.g. parallel tests) see each other's traffic.
+    pub perf: Option<pmcmc_core::PerfSnapshot>,
 }
 
 /// The shared result shape every strategy produces.
@@ -295,6 +302,7 @@ impl RunReport {
                 acceptance_rate: None,
                 log_posterior,
                 notes: Vec::new(),
+                perf: None,
             },
             node_timings: Vec::new(),
         }
@@ -342,6 +350,7 @@ impl Strategy for SequentialStrategy {
     fn run(&self, req: &RunRequest<'_>, ctx: &RunCtx) -> Result<RunReport, RunError> {
         req.validate()?;
         let model = req.model();
+        let perf_start = pmcmc_core::perf::snapshot();
         let start = Instant::now();
         // Random initial configuration (§III), matching the start state of
         // every other engine strategy so sweeps compare schemes, not
@@ -372,6 +381,7 @@ impl Strategy for SequentialStrategy {
         );
         report.phases = vec![PhaseTiming::new("chain", total)];
         report.diagnostics.acceptance_rate = Some(acceptance);
+        report.diagnostics.perf = Some(pmcmc_core::perf::snapshot().since(&perf_start));
         Ok(report)
     }
 }
@@ -397,6 +407,7 @@ impl Strategy for PeriodicStrategy {
         req.validate()?;
         StrategySpec::Periodic(self.options).validate()?;
         let model = req.model();
+        let perf_start = pmcmc_core::perf::snapshot();
         let start = Instant::now();
         let mut sampler = PeriodicSampler::with_pool(&model, req.seed, self.options, req.pool);
         let periodic_report = sampler.run_ctx(req.iterations, ctx)?;
@@ -421,6 +432,7 @@ impl Strategy for PeriodicStrategy {
             .diagnostics
             .notes
             .push(format!("cycles={}", periodic_report.cycles));
+        report.diagnostics.perf = Some(pmcmc_core::perf::snapshot().since(&perf_start));
         Ok(report)
     }
 }
@@ -452,6 +464,7 @@ impl Strategy for SpeculativeStrategy {
             self.lanes
         };
         let model = req.model();
+        let perf_start = pmcmc_core::perf::snapshot();
         let start = Instant::now();
         let mut sampler = SpeculativeSampler::new(&model, req.seed, lanes);
         ctx.phase("rounds");
@@ -482,6 +495,7 @@ impl Strategy for SpeculativeStrategy {
         report.diagnostics.partitions = lanes;
         report.diagnostics.acceptance_rate = Some(acceptance);
         report.diagnostics.notes.push(format!("rounds={rounds}"));
+        report.diagnostics.perf = Some(pmcmc_core::perf::snapshot().since(&perf_start));
         Ok(report)
     }
 }
@@ -528,6 +542,7 @@ impl Strategy for Mc3Strategy {
         let model = req.model();
         let segment_len = self.segment_len.max(1);
         let segments = (req.iterations / segment_len).max(1);
+        let perf_start = pmcmc_core::perf::snapshot();
         let start = Instant::now();
         let mut mc3 = Mc3::new(&model, self.chains.max(2), self.heat, req.seed);
         let mc3_report = run_mc3_parallel_ctx(&mut mc3, req.pool, segments, segment_len, ctx)?;
@@ -548,6 +563,7 @@ impl Strategy for Mc3Strategy {
             "swaps={}/{}",
             mc3.swap_stats.accepted, mc3.swap_stats.attempted
         ));
+        report.diagnostics.perf = Some(pmcmc_core::perf::snapshot().since(&perf_start));
         Ok(report)
     }
 }
@@ -577,6 +593,7 @@ impl Strategy for IntelligentStrategy {
             max_iters: req.iterations,
             ..self.chain
         };
+        let perf_start = pmcmc_core::perf::snapshot();
         let start = Instant::now();
         let result = run_intelligent_ctx(
             req.image,
@@ -609,6 +626,7 @@ impl Strategy for IntelligentStrategy {
                 p.rect, p.expected_count, p.converged_at
             ));
         }
+        report.diagnostics.perf = Some(pmcmc_core::perf::snapshot().since(&perf_start));
         Ok(report)
     }
 }
@@ -640,6 +658,7 @@ impl Strategy for BlindStrategy {
             },
             ..self.options
         };
+        let perf_start = pmcmc_core::perf::snapshot();
         let start = Instant::now();
         let result = run_blind_ctx(req.image, req.params, &opts, req.pool, req.seed, ctx)?;
         let total = start.elapsed();
@@ -662,6 +681,7 @@ impl Strategy for BlindStrategy {
             "merged_pairs={}, disputed={}",
             result.merged_pairs, result.disputed
         ));
+        report.diagnostics.perf = Some(pmcmc_core::perf::snapshot().since(&perf_start));
         Ok(report)
     }
 }
@@ -694,6 +714,7 @@ impl Strategy for NaiveStrategy {
             },
             ..self.options
         };
+        let perf_start = pmcmc_core::perf::snapshot();
         let start = Instant::now();
         let result = run_naive_ctx(req.image, req.params, &opts, req.pool, req.seed, ctx)?;
         let total = start.elapsed();
@@ -709,6 +730,7 @@ impl Strategy for NaiveStrategy {
         );
         report.phases = vec![PhaseTiming::new("chains", result.chains_time)];
         report.diagnostics.partitions = result.partitions.len();
+        report.diagnostics.perf = Some(pmcmc_core::perf::snapshot().since(&perf_start));
         Ok(report)
     }
 }
@@ -1384,6 +1406,23 @@ mod tests {
                 .config
                 .verify_consistency(&model)
                 .unwrap_or_else(|e| panic!("{} inconsistent config: {e}", report.strategy));
+            let perf = report
+                .diagnostics
+                .perf
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} reported no perf snapshot", report.strategy));
+            // The counters are process-global, so concurrent tests can only
+            // inflate the deltas — a lower bound is the safe assertion.
+            assert!(
+                perf.proposals_evaluated > 0,
+                "{} evaluated no proposals",
+                report.strategy
+            );
+            assert!(
+                perf.pixels_visited > 0,
+                "{} visited no pixels",
+                report.strategy
+            );
         }
     }
 

@@ -3,15 +3,30 @@
 //! Speculative moves ([11], §IV) evaluate `n` independent proposals of the
 //! *same* chain state concurrently; a round lasts roughly one MCMC
 //! iteration (microseconds), so channel-based dispatch would dominate the
-//! round. `SpinTeam` keeps `n − 1` helper threads spinning on a generation
-//! counter: broadcasting a closure costs one mutex store plus an atomic
-//! increment, giving sub-microsecond fan-out on an SMP machine — the
+//! round. `SpinTeam` keeps `n − 1` helper threads hot: each spins briefly
+//! on a generation counter (the fast path between back-to-back rounds) and
+//! then parks on a condvar, so an idle or oversubscribed team never burns
+//! cores the leader needs — the failure mode that made speculative rounds
+//! orders of magnitude slower than sequential on machines with fewer cores
+//! than lanes. Broadcasting a closure costs one mutex store plus an atomic
+//! increment (plus a `notify_all` when some helper is parked), keeping the
 //! "negligible overhead" regime the paper's eq. (3)/(4) assume.
 
 use parking_lot::Mutex;
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Spin-loop iterations a helper burns waiting for the next round before
+/// yielding and then parking. Long enough to catch back-to-back rounds,
+/// short enough that an idle helper is off the core within microseconds.
+const HELPER_SPINS: u32 = 2_000;
+/// `yield_now` calls a helper makes after spinning, before parking.
+const HELPER_YIELDS: u32 = 16;
+/// Spin-loop iterations the leader burns waiting for helpers before it
+/// starts yielding (helpers may need the leader's core on small machines).
+const LEADER_SPINS: u32 = 200;
 
 /// Type-erased shared job: a reference to the round's closure.
 struct SharedJob {
@@ -30,10 +45,37 @@ struct TeamShared {
     shutdown: AtomicBool,
     panicked: AtomicBool,
     job: Mutex<Option<SharedJob>>,
+    /// Latest generation announced to parked helpers; guarded by a std
+    /// mutex so the condvar wait can re-check it without missed wakeups.
+    announced: std::sync::Mutex<u64>,
+    wake: std::sync::Condvar,
+    /// Nanoseconds the leader has spent waiting for helpers to finish
+    /// rounds (drained by [`SpinTeam::take_spin_wait_ns`]).
+    spin_wait_ns: AtomicU64,
 }
 
-/// A team of spinning workers executing one closure per round, each with a
-/// distinct member id in `0..members` (id 0 is the calling thread).
+impl TeamShared {
+    /// Publishes `gen` to parked helpers and wakes them.
+    fn announce(&self, gen: u64) {
+        let mut announced = self.announced.lock().unwrap();
+        *announced = gen;
+        drop(announced);
+        self.wake.notify_all();
+    }
+}
+
+/// One cache-line-padded output cell per member for `broadcast_map`; each
+/// member writes only its own cell, so no locks and no false sharing.
+#[repr(align(64))]
+struct MapSlot<R>(UnsafeCell<Option<R>>);
+
+// SAFETY: members access disjoint slots (slot `id` only from member `id`),
+// and `broadcast`'s completion barrier orders all writes before the
+// collecting reads.
+unsafe impl<R: Send> Sync for MapSlot<R> {}
+
+/// A team of workers executing one closure per round, each with a distinct
+/// member id in `0..members` (id 0 is the calling thread).
 pub struct SpinTeam {
     shared: Arc<TeamShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -53,6 +95,9 @@ impl SpinTeam {
             shutdown: AtomicBool::new(false),
             panicked: AtomicBool::new(false),
             job: Mutex::new(None),
+            announced: std::sync::Mutex::new(0),
+            wake: std::sync::Condvar::new(),
+            spin_wait_ns: AtomicU64::new(0),
         });
         let mut handles = Vec::with_capacity(members - 1);
         for id in 1..members {
@@ -77,6 +122,25 @@ impl SpinTeam {
         self.members
     }
 
+    /// How many members can actually run concurrently on this host:
+    /// `min(members, logical cores)`. Callers use this to decide whether a
+    /// broadcast round buys real parallelism or whether inline execution is
+    /// cheaper (on a host with fewer cores than lanes every round is a
+    /// forced context-switch relay).
+    #[must_use]
+    pub fn effective_parallelism(&self) -> usize {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        self.members.min(cores)
+    }
+
+    /// Drains the accumulated leader spin-wait time (nanoseconds spent in
+    /// `broadcast` waiting for helpers after the leader's own share was
+    /// done). Resets the counter to zero.
+    #[must_use]
+    pub fn take_spin_wait_ns(&self) -> u64 {
+        self.shared.spin_wait_ns.swap(0, Ordering::Relaxed)
+    }
+
     /// Runs `f(member_id)` once on every member (ids `0..members`)
     /// concurrently and returns when all have finished. The closure may
     /// borrow caller state.
@@ -94,20 +158,36 @@ impl SpinTeam {
         let helpers = (self.members - 1) as u64;
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: we erase the lifetime of `f_ref` to store it in the
-        // shared slot. The leader spins below until `completed == helpers`,
+        // shared slot. The leader waits below until `completed == helpers`,
         // i.e. until every helper has returned from the closure, before
         // clearing the slot and returning — so the reference never outlives
         // the closure it points to.
         let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
         *self.shared.job.lock() = Some(SharedJob { ptr: erased });
         self.shared.completed.store(0, Ordering::Release);
-        self.shared.generation.fetch_add(1, Ordering::Release);
+        let gen = self.shared.generation.fetch_add(1, Ordering::Release) + 1;
+        self.shared.announce(gen);
 
         // Member 0 = the leader itself.
         let leader_result = catch_unwind(AssertUnwindSafe(|| f(0)));
 
-        while self.shared.completed.load(Ordering::Acquire) < helpers {
-            std::hint::spin_loop();
+        if self.shared.completed.load(Ordering::Acquire) < helpers {
+            let wait_start = std::time::Instant::now();
+            let mut spins = 0u32;
+            while self.shared.completed.load(Ordering::Acquire) < helpers {
+                spins += 1;
+                if spins < LEADER_SPINS {
+                    std::hint::spin_loop();
+                } else {
+                    // Helpers may be queued behind us on a small machine —
+                    // give up the core instead of starving them.
+                    std::thread::yield_now();
+                }
+            }
+            let waited = u64::try_from(wait_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.shared
+                .spin_wait_ns
+                .fetch_add(waited, Ordering::Relaxed);
         }
         *self.shared.job.lock() = None;
 
@@ -118,44 +198,66 @@ impl SpinTeam {
 
     /// Broadcasts `f` and collects each member's return value, in member
     /// order.
+    ///
+    /// # Panics
+    /// Panics if any member's closure panicked.
     pub fn broadcast_map<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        let slots: Vec<Mutex<Option<R>>> = (0..self.members).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<MapSlot<R>> = (0..self.members)
+            .map(|_| MapSlot(UnsafeCell::new(None)))
+            .collect();
+        let slots_ref = &slots;
         self.broadcast(|id| {
-            *slots[id].lock() = Some(f(id));
+            // SAFETY: member `id` is the only writer of slot `id`, and the
+            // completion barrier in `broadcast` sequences these writes
+            // before the reads below.
+            unsafe {
+                *slots_ref[id].0.get() = Some(f(id));
+            }
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().expect("member ran"))
+            .map(|s| s.0.into_inner().expect("member ran"))
             .collect()
     }
 }
 
 fn helper_loop(shared: &TeamShared, id: usize) {
     let mut last_gen = 0u64;
-    let mut idle_spins = 0u32;
     loop {
-        let gen = shared.generation.load(Ordering::Acquire);
-        if gen == last_gen {
+        // Fast path: spin briefly in case the next round is imminent …
+        let mut spins = 0u32;
+        loop {
+            if shared.generation.load(Ordering::Acquire) != last_gen {
+                break;
+            }
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            idle_spins += 1;
-            if idle_spins < 10_000 {
+            spins += 1;
+            if spins < HELPER_SPINS {
                 std::hint::spin_loop();
-            } else if idle_spins < 20_000 {
+            } else if spins < HELPER_SPINS + HELPER_YIELDS {
                 std::thread::yield_now();
             } else {
-                // Long idle: back off so an idle team doesn't burn a core.
-                std::thread::sleep(std::time::Duration::from_micros(100));
+                // … then park until the leader announces a new round. The
+                // announced generation is re-checked under the lock, so a
+                // notify between the atomic check and the wait cannot be
+                // missed.
+                let mut announced = shared.announced.lock().unwrap();
+                while *announced == last_gen && !shared.shutdown.load(Ordering::Acquire) {
+                    announced = shared.wake.wait(announced).unwrap();
+                }
+                break;
             }
-            continue;
         }
-        idle_spins = 0;
-        last_gen = gen;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        last_gen = shared.generation.load(Ordering::Acquire);
         let job_ptr = shared.job.lock().as_ref().map(|j| j.ptr);
         if let Some(ptr) = job_ptr {
             // SAFETY: the leader keeps the closure alive until `completed`
@@ -172,6 +274,10 @@ fn helper_loop(shared: &TeamShared, id: usize) {
 impl Drop for SpinTeam {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        // Take the announce lock so parked helpers observe the shutdown
+        // flag when woken.
+        drop(self.shared.announced.lock().unwrap());
+        self.shared.wake.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -233,6 +339,49 @@ mod tests {
             });
         }
         assert_eq!(total.load(Ordering::SeqCst), 2000);
+    }
+
+    #[test]
+    fn rounds_resume_after_helpers_park() {
+        let team = SpinTeam::new(3);
+        for round in 0..5 {
+            let total = AtomicUsize::new(0);
+            team.broadcast(|_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(total.load(Ordering::SeqCst), 3, "round {round}");
+            // Long gap: helpers exhaust their spin budget and park; the
+            // next broadcast must wake them.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn spin_wait_counter_drains() {
+        let team = SpinTeam::new(2);
+        for _ in 0..20 {
+            team.broadcast(|id| {
+                if id == 1 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            });
+        }
+        let waited = team.take_spin_wait_ns();
+        assert!(waited > 0, "leader never waited on the sleeping helper");
+        // Drained: immediately reading again returns ~0 (no rounds ran).
+        assert_eq!(team.take_spin_wait_ns(), 0);
+    }
+
+    #[test]
+    fn effective_parallelism_is_bounded() {
+        let team = SpinTeam::new(64);
+        let eff = team.effective_parallelism();
+        assert!(eff >= 1);
+        assert!(eff <= 64);
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(eff, 64.min(cores));
+        let solo = SpinTeam::new(1);
+        assert_eq!(solo.effective_parallelism(), 1);
     }
 
     #[test]
