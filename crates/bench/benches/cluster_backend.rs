@@ -13,7 +13,10 @@ use pmcmc_bench::{
     write_bench_artifact,
 };
 use pmcmc_parallel::engine::StrategySpec;
-use pmcmc_parallel::job::{Engine, JobSpec, ShardPlacement, ShardedBackend};
+use pmcmc_parallel::job::{
+    DistributedBackend, DistributedConfig, Engine, InProcessDaemon, JobSpec, ShardPlacement,
+    ShardedBackend,
+};
 use pmcmc_parallel::report::{fmt_f, fmt_secs, Table};
 use pmcmc_parallel::theory::eq4_time;
 use pmcmc_runtime::ClusterTopology;
@@ -98,6 +101,76 @@ fn main() {
         ));
     }
     println!("{}", table.render());
+
+    // Distributed placement: the same pack batch, but the nodes are real
+    // daemon event loops behind loopback TCP sockets — the wire protocol,
+    // placement and admission paths of a multi-machine deployment, so the
+    // row quantifies socket + serialisation overhead against the in-process
+    // sharded rows above.
+    let mut dist_table = Table::new(
+        "distributed placement: batch makespan by topology (loopback daemons)",
+        &[
+            "topology (s x t)",
+            "makespan",
+            "fraction of 1-node pack",
+            "eq4 predicted fraction",
+        ],
+    );
+    for (s, t) in [(1usize, 2usize), (2, 2)] {
+        let daemons: Vec<InProcessDaemon> = (0..s)
+            .map(|_| InProcessDaemon::spawn(t, 1).expect("loopback daemon starts"))
+            .collect();
+        let addrs: Vec<std::net::SocketAddr> = daemons.iter().map(|d| d.addr()).collect();
+        let engine = Engine::with_backend(
+            DistributedBackend::connect_with(
+                &addrs,
+                DistributedConfig {
+                    max_in_flight: 1,
+                    ..DistributedConfig::default()
+                },
+            )
+            .expect("coordinator connects"),
+        );
+        let specs: Vec<JobSpec> = (0..JOBS)
+            .map(|i| {
+                JobSpec::new(
+                    StrategySpec::Sequential,
+                    w.image.clone(),
+                    w.model.params.clone(),
+                )
+                .seed(i as u64)
+                .iterations(budget)
+            })
+            .collect();
+        let t0 = Instant::now();
+        for result in engine.submit_batch(specs).expect("batch").wait_all() {
+            result.expect("distributed job completes");
+        }
+        let makespan = t0.elapsed().as_secs_f64();
+        let base = baseline.expect("pack rows ran first");
+        let fraction = makespan / base;
+        let total_iters = (JOBS as u64 * budget) as f64;
+        let tau = base / total_iters;
+        let pred = eq4_time(total_iters, 0.0, tau, tau, s, 1, 0.0, 0.0)
+            / eq4_time(total_iters, 0.0, tau, tau, 1, 1, 0.0, 0.0);
+        dist_table.push_row(vec![
+            format!("{s} x {t}"),
+            fmt_secs(makespan),
+            fmt_f(fraction, 3),
+            fmt_f(pred, 3),
+        ]);
+        json_rows.push(format!(
+            "    {{\"mode\": \"distributed\", \"nodes\": {s}, \"threads_per_node\": {t}, \
+             \"jobs\": {JOBS}, \"iterations_per_job\": {budget}, \
+             \"makespan_s\": {makespan:.6}, \"fraction\": {fraction:.4}, \
+             \"eq4_fraction\": {pred:.4}}}"
+        ));
+        drop(engine); // coordinator sends Shutdown to every daemon
+        for d in daemons {
+            d.join();
+        }
+    }
+    println!("{}", dist_table.render());
 
     // Split placement: one job striped across the cluster, per-node
     // reports merged through the duplicate-clustering path.

@@ -62,10 +62,60 @@ fn main() {
             failed |= !ok;
         }
     }
+
+    // Cluster artefact: shape-check only (the sweep above is the timing
+    // guard). Baselines written before the distributed backend existed
+    // carry no "distributed" rows — that is tolerated, not failed.
+    let cluster_path = baseline_path.with_file_name("BENCH_cluster.json");
+    match std::fs::read_to_string(&cluster_path) {
+        Ok(json) => {
+            for (ok, msg) in check_cluster_rows(&json) {
+                println!("{} {msg}", if ok { "PASS" } else { "FAIL" });
+                failed |= !ok;
+            }
+        }
+        Err(e) => println!(
+            "bench_guard: no cluster baseline at {} ({e}); skipping",
+            cluster_path.display()
+        ),
+    }
+
     if failed {
         std::process::exit(1);
     }
     println!("bench_guard: all strategies within the regression band");
+}
+
+/// Validates the cluster artefact's rows without re-running the bench:
+/// every row must carry a positive, finite `makespan_s`, and a baseline
+/// with no `"distributed"` rows (written before the socket backend
+/// existed) passes with a note rather than failing.
+fn check_cluster_rows(json: &str) -> Vec<(bool, String)> {
+    let mut out = Vec::new();
+    let mut distributed = 0usize;
+    for line in json.lines() {
+        let Some(mode) = extract_str(line, "\"mode\": \"") else {
+            continue;
+        };
+        // The top-level "mode": "quick"|"full" header line has no makespan.
+        let Some(makespan) = extract_num(line, "\"makespan_s\": ") else {
+            continue;
+        };
+        if mode == "distributed" {
+            distributed += 1;
+        }
+        out.push((
+            makespan.is_finite() && makespan > 0.0,
+            format!("cluster {mode} row: makespan_s {makespan:.6} is positive and finite"),
+        ));
+    }
+    if distributed == 0 {
+        out.push((
+            true,
+            "cluster baseline predates distributed rows; tolerated".to_owned(),
+        ));
+    }
+    out
 }
 
 /// Runs every check applicable to one measured strategy fraction.
@@ -214,5 +264,46 @@ mod tests {
         assert!(check("new-scheme", 9.9, &baseline)
             .iter()
             .all(|(ok, _)| *ok));
+    }
+
+    const OLD_CLUSTER: &str = r#"{
+  "bench": "cluster_backend",
+  "mode": "quick",
+  "rows": [
+    {"mode": "pack", "nodes": 1, "threads_per_node": 2, "makespan_s": 0.412000, "fraction": 1.0000},
+    {"mode": "split", "nodes": 2, "threads_per_node": 2, "makespan_s": 0.200000}
+  ]
+}"#;
+
+    const NEW_CLUSTER: &str = r#"{
+  "bench": "cluster_backend",
+  "mode": "quick",
+  "rows": [
+    {"mode": "pack", "nodes": 1, "threads_per_node": 2, "makespan_s": 0.412000, "fraction": 1.0000},
+    {"mode": "distributed", "nodes": 2, "threads_per_node": 2, "makespan_s": 0.450000, "fraction": 1.0922}
+  ]
+}"#;
+
+    #[test]
+    fn cluster_baselines_without_distributed_rows_are_tolerated() {
+        // A baseline written before the distributed backend existed must
+        // pass — with a note, not a failure.
+        let verdicts = check_cluster_rows(OLD_CLUSTER);
+        assert!(verdicts.iter().all(|(ok, _)| *ok));
+        assert!(verdicts
+            .iter()
+            .any(|(_, msg)| msg.contains("predates distributed rows")));
+    }
+
+    #[test]
+    fn cluster_distributed_rows_are_shape_checked_when_present() {
+        let verdicts = check_cluster_rows(NEW_CLUSTER);
+        assert!(verdicts.iter().all(|(ok, _)| *ok));
+        assert!(verdicts
+            .iter()
+            .any(|(_, msg)| msg.contains("cluster distributed row")));
+        // A corrupt makespan in any row is still a failure.
+        let broken = NEW_CLUSTER.replace("0.450000", "-1.0");
+        assert!(check_cluster_rows(&broken).iter().any(|(ok, _)| !ok));
     }
 }

@@ -222,7 +222,7 @@ impl Default for ProposalScales {
 
 /// Full model parameterisation: priors plus the two-level Gaussian
 /// likelihood of §III.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelParams {
     /// Image width (pixels).
     pub width: u32,

@@ -180,7 +180,7 @@ pub(crate) fn validate_workload(
 }
 
 /// One named phase of a run and the wall time spent in it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhaseTiming {
     /// Phase label (e.g. `"global"`, `"chains"`, `"merge"`).
     pub phase: &'static str,
@@ -200,7 +200,7 @@ impl PhaseTiming {
 /// [`theory::eq4_time`](crate::theory::eq4_time) — summing `busy` over a
 /// batch and comparing makespans across topologies is how the §VI cluster
 /// model is validated against measured execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeTiming {
     /// The node the work ran on.
     pub node: NodeId,
@@ -212,7 +212,7 @@ pub struct NodeTiming {
 
 /// Run accounting beyond the final state: everything the bench tables
 /// report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunDiagnostics {
     /// Number of partitions / tiles / chains the scheme fanned out over
     /// (1 for purely sequential execution).
@@ -739,8 +739,10 @@ impl Strategy for NaiveStrategy {
 // StrategySpec — the typed registry.
 
 /// A typed, serialisable description of one parallelisation scheme and its
-/// options — the primary way to name a strategy (the stringly
-/// [`by_name`] lookup is a thin shim over `StrategySpec::from_str`).
+/// options — the primary way to name a strategy (the stringly, deprecated
+/// [`by_name`](crate::engine::by_name) lookup is a thin shim over
+/// `StrategySpec::from_str` and is no longer re-exported from the crate
+/// root).
 ///
 /// The CLI grammar is `name[:key=value[,key=value]…]`; `Display` renders
 /// the canonical spelling (options are emitted only when they differ from

@@ -10,10 +10,16 @@
 //! * [`ShardedBackend`] — a simulated `s × t` cluster in the shape of
 //!   eq. (4): `s` nodes, each owning a private pool of `t` workers and a
 //!   bounded admission queue, with placement driven by the LPT scheduler.
+//! * [`DistributedBackend`] — the real thing: eq. (4)'s `s` nodes as
+//!   remote [`NodeDaemon`](crate::job::daemon::NodeDaemon) processes
+//!   reached over TCP, with heartbeat failure detection and
+//!   failure-aware rescheduling.
 
+mod distributed;
 mod local;
 mod sharded;
 
+pub use distributed::{DistributedBackend, DistributedConfig};
 pub use local::LocalBackend;
 pub use sharded::{ShardPlacement, ShardedBackend};
 

@@ -1,0 +1,394 @@
+//! The node-daemon side of distributed execution: a socket server that
+//! turns one machine into one eq. (4) cluster node.
+//!
+//! A [`NodeDaemon`] listens on a TCP socket, accepts one coordinator
+//! connection at a time, and speaks the [`pmcmc_runtime::wire`] protocol:
+//! it answers the coordinator's `Hello` with its worker count, runs each
+//! `Assign`ed job on a local [`WorkerPool`] of `t` workers (one runner
+//! thread per admitted job, so a daemon is internally concurrent up to
+//! its capacity), streams a `Result` frame per job, and beats a
+//! `Heartbeat` every few hundred milliseconds so the coordinator can
+//! tell a busy node from a dead one. Jobs arriving beyond the daemon's
+//! capacity are bounced back with `Requeue` for the coordinator to place
+//! elsewhere.
+//!
+//! The binary wrapper lives in `pmcmc-bench` (`node_daemon`); this module
+//! keeps the logic in-library so tests and examples can run daemons
+//! in-process on loopback sockets.
+
+use crate::engine::{NodeTiming, RunRequest};
+use crate::job::ctx::RunCtx;
+use crate::job::error::{panic_message, RunError};
+use crate::job::wire::{Assign, JobResult, WireReport};
+use pmcmc_runtime::net::FrameConn;
+use pmcmc_runtime::wire::{FrameKind, Heartbeat, Hello, Requeue, Wire, WireError, WIRE_VERSION};
+use pmcmc_runtime::{NodeId, WorkerPool};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// One node's worth of the distributed runtime: a listener plus the `t`
+/// local workers that eq. (4) calls one machine.
+pub struct NodeDaemon {
+    listener: TcpListener,
+    pool: Arc<WorkerPool>,
+    capacity: u32,
+    heartbeat_every: Duration,
+}
+
+/// Why one coordinator session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEnd {
+    /// The coordinator sent `Shutdown`: the daemon should exit.
+    Shutdown,
+    /// The connection dropped (coordinator crashed or finished without a
+    /// farewell): the daemon may serve the next coordinator.
+    Disconnected,
+}
+
+impl NodeDaemon {
+    /// Binds a daemon of `workers` local worker threads to `addr` (use
+    /// port 0 to let the OS pick; read it back with
+    /// [`NodeDaemon::local_addr`]).
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            pool: WorkerPool::shared(workers.max(1)),
+            capacity: 2,
+            heartbeat_every: Duration::from_millis(200),
+        })
+    }
+
+    /// Sets how many jobs the daemon runs concurrently before bouncing
+    /// assignments back with `Requeue` (default 2, matching
+    /// [`ClusterTopology`](pmcmc_runtime::ClusterTopology)'s default
+    /// per-node admission bound).
+    #[must_use]
+    pub fn capacity(mut self, capacity: u32) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the heartbeat cadence (default 200 ms). Coordinators time
+    /// nodes out after several missed beats, so keep this well under the
+    /// coordinator's timeout.
+    #[must_use]
+    pub fn heartbeat_every(mut self, every: Duration) -> Self {
+        self.heartbeat_every = every;
+        self
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    /// Propagates socket failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Worker threads per job (eq. (4)'s `t`).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Accepts and serves one coordinator connection to its end.
+    ///
+    /// # Errors
+    /// [`WireError`] on accept failures or a handshake that is not a
+    /// valid `Hello`.
+    pub fn serve_one(&self) -> Result<SessionEnd, WireError> {
+        let (stream, _) = self.listener.accept().map_err(WireError::from)?;
+        let mut conn = FrameConn::from_stream(stream)?;
+
+        // Handshake: the coordinator assigns this connection its NodeId.
+        let frame = conn.recv()?;
+        if frame.kind != FrameKind::Hello {
+            return Err(WireError::Malformed(format!(
+                "expected Hello to open the session, got {:?}",
+                frame.kind
+            )));
+        }
+        let hello = Hello::from_wire_bytes(&frame.payload)?;
+        if hello.version > WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(hello.version));
+        }
+        let node = hello.node;
+        conn.send(
+            FrameKind::Hello,
+            &Hello {
+                version: WIRE_VERSION,
+                node,
+                workers: self.pool.threads() as u32,
+            }
+            .to_wire_bytes(),
+        )?;
+
+        // One clone of the socket per concern: senders share a mutexed
+        // writer, the session loop keeps the reader.
+        let writer = Arc::new(Mutex::new(conn.try_clone()?));
+        let in_flight = Arc::new(AtomicU32::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let beat = {
+            let writer = Arc::clone(&writer);
+            let in_flight = Arc::clone(&in_flight);
+            let stop = Arc::clone(&stop);
+            let every = self.heartbeat_every;
+            std::thread::Builder::new()
+                .name(format!("pmcmc-daemon{node}-heartbeat"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let payload = Heartbeat {
+                            node,
+                            in_flight: in_flight.load(Ordering::Acquire),
+                        }
+                        .to_wire_bytes();
+                        if writer.lock().send(FrameKind::Heartbeat, &payload).is_err() {
+                            // Coordinator gone; the session loop will see
+                            // the same failure and wind down.
+                            return;
+                        }
+                        std::thread::sleep(every);
+                    }
+                })
+                .map_err(|e| WireError::Io(format!("failed to spawn heartbeat thread: {e}")))?
+        };
+
+        let mut runners: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let end = loop {
+            match conn.recv() {
+                Ok(frame) => match frame.kind {
+                    FrameKind::Assign => {
+                        match Assign::from_wire_bytes(&frame.payload) {
+                            Ok(assign) => {
+                                if in_flight.load(Ordering::Acquire) >= self.capacity {
+                                    let requeue = Requeue {
+                                        job: assign.job,
+                                        reason: format!(
+                                            "node {node} at capacity {}",
+                                            self.capacity
+                                        ),
+                                    }
+                                    .to_wire_bytes();
+                                    let _ = writer.lock().send(FrameKind::Requeue, &requeue);
+                                    continue;
+                                }
+                                in_flight.fetch_add(1, Ordering::AcqRel);
+                                let job_id = assign.job;
+                                let pool = Arc::clone(&self.pool);
+                                let job_writer = Arc::clone(&writer);
+                                let job_in_flight = Arc::clone(&in_flight);
+                                let runner = std::thread::Builder::new()
+                                    .name(format!("pmcmc-daemon{node}-job{job_id}"))
+                                    .spawn(move || {
+                                        let result = run_assigned(&assign, &pool, node);
+                                        let payload = JobResult {
+                                            job: job_id,
+                                            outcome: result,
+                                        }
+                                        .to_wire_bytes();
+                                        let _ = job_writer.lock().send(FrameKind::Result, &payload);
+                                        job_in_flight.fetch_sub(1, Ordering::AcqRel);
+                                    });
+                                match runner {
+                                    Ok(handle) => runners.push(handle),
+                                    Err(e) => {
+                                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                                        let payload = JobResult {
+                                            job: job_id,
+                                            outcome: Err(RunError::Transport(format!(
+                                                "node {node} could not spawn a job runner: {e}"
+                                            ))),
+                                        }
+                                        .to_wire_bytes();
+                                        let _ = writer.lock().send(FrameKind::Result, &payload);
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                // The job id is the first u64 of the
+                                // payload; salvage it so the coordinator
+                                // can fail the job instead of timing out.
+                                if let Ok(job) =
+                                    pmcmc_runtime::wire::WireReader::new(&frame.payload).u64()
+                                {
+                                    let payload = JobResult {
+                                        job,
+                                        outcome: Err(RunError::Transport(format!(
+                                            "node {node} could not decode assignment: {e}"
+                                        ))),
+                                    }
+                                    .to_wire_bytes();
+                                    let _ = writer.lock().send(FrameKind::Result, &payload);
+                                }
+                            }
+                        }
+                    }
+                    FrameKind::Shutdown => break SessionEnd::Shutdown,
+                    // Hello/Heartbeat/Result/Requeue from the coordinator
+                    // carry nothing for a daemon; ignore rather than kill
+                    // the session.
+                    _ => {}
+                },
+                Err(_) => break SessionEnd::Disconnected,
+            }
+        };
+
+        stop.store(true, Ordering::Release);
+        for runner in runners {
+            let _ = runner.join();
+        }
+        let _ = beat.join();
+        Ok(end)
+    }
+
+    /// Serves coordinator sessions until one sends `Shutdown`.
+    ///
+    /// # Errors
+    /// The first [`WireError`] from [`NodeDaemon::serve_one`].
+    pub fn serve_forever(&self) -> Result<(), WireError> {
+        loop {
+            if self.serve_one()? == SessionEnd::Shutdown {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Runs one assigned job on the daemon's pool and assembles its wire
+/// outcome — the daemon-side mirror of `PreparedJob::execute`.
+fn run_assigned(
+    assign: &Assign,
+    pool: &Arc<WorkerPool>,
+    node: u64,
+) -> Result<WireReport, RunError> {
+    let b = &assign.blueprint;
+    let started = Instant::now();
+    let mut ctx = RunCtx::new().with_progress_stride(b.progress_stride);
+    if let Some(remaining) = b.remaining_deadline {
+        ctx = ctx.with_deadline(started + remaining);
+    }
+    if let Some(interval) = b.checkpoint_interval {
+        ctx = ctx.with_checkpoint_interval(interval);
+    }
+    let req = RunRequest::new(&b.image, &b.params, pool, b.seed).iterations(b.iterations);
+    let strategy = b.strategy;
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        strategy.build().run(&req, &ctx)
+    }))
+    .unwrap_or_else(|payload| Err(RunError::Panicked(panic_message(&*payload))));
+    result.map(|mut report| {
+        report.node_timings.push(NodeTiming {
+            node: NodeId(node as usize),
+            queued: b.queued_so_far,
+            busy: report.total_time,
+        });
+        WireReport::from_report(&report)
+    })
+}
+
+/// A daemon running on a background thread of this process — the
+/// harness tests, benches and the example use to stand up loopback
+/// clusters without spawning processes.
+pub struct InProcessDaemon {
+    addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<Result<(), WireError>>>,
+}
+
+impl InProcessDaemon {
+    /// Binds a daemon on `127.0.0.1:0` and serves it on a background
+    /// thread until a coordinator sends `Shutdown` (or the process
+    /// exits).
+    ///
+    /// # Errors
+    /// Propagates bind/spawn failures as [`RunError::Transport`].
+    pub fn spawn(workers: usize, capacity: u32) -> Result<Self, RunError> {
+        let daemon = NodeDaemon::bind("127.0.0.1:0", workers)
+            .map_err(|e| RunError::Transport(format!("daemon bind failed: {e}")))?
+            .capacity(capacity);
+        let addr = daemon
+            .local_addr()
+            .map_err(|e| RunError::Transport(format!("daemon addr failed: {e}")))?;
+        let thread = std::thread::Builder::new()
+            .name(format!("pmcmc-daemon-{addr}"))
+            .spawn(move || daemon.serve_forever())
+            .map_err(|e| RunError::Transport(format!("daemon spawn failed: {e}")))?;
+        Ok(Self {
+            addr,
+            thread: Some(thread),
+        })
+    }
+
+    /// The daemon's loopback address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the daemon to exit (after a coordinator `Shutdown`).
+    pub fn join(mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for InProcessDaemon {
+    fn drop(&mut self) {
+        // Detach: serve_forever exits on coordinator Shutdown; tests that
+        // want a clean join call `join()` explicitly.
+        drop(self.thread.take());
+    }
+}
+
+// Re-exported here so daemon users see the heartbeat payload type next
+// to the daemon that emits it.
+pub use pmcmc_runtime::wire::Heartbeat as HeartbeatPayload;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemon_handshakes_and_heartbeats() {
+        let daemon = InProcessDaemon::spawn(1, 2).expect("daemon spawns");
+        let mut conn = FrameConn::connect_timeout(&daemon.addr(), Duration::from_secs(5))
+            .expect("coordinator connects");
+        conn.send(
+            FrameKind::Hello,
+            &Hello {
+                version: WIRE_VERSION,
+                node: 4,
+                workers: 0,
+            }
+            .to_wire_bytes(),
+        )
+        .expect("hello out");
+        let reply = conn.recv().expect("hello back");
+        assert_eq!(reply.kind, FrameKind::Hello);
+        let hello = Hello::from_wire_bytes(&reply.payload).expect("decode");
+        assert_eq!(hello.node, 4);
+        assert_eq!(hello.workers, 1);
+
+        // At least one heartbeat arrives without prompting.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let frame = conn.recv().expect("frame");
+            if frame.kind == FrameKind::Heartbeat {
+                let beat = Heartbeat::from_wire_bytes(&frame.payload).expect("decode beat");
+                assert_eq!(beat.node, 4);
+                break;
+            }
+            assert!(Instant::now() < deadline, "no heartbeat within 5s");
+        }
+        conn.send(FrameKind::Shutdown, &[]).expect("shutdown");
+        daemon.join();
+    }
+}

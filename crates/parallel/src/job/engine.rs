@@ -1,7 +1,7 @@
 //! The submission front-end: validation, id minting, handle wiring.
 
 use crate::job::backend::{
-    BatchResult, ExecutionBackend, LocalBackend, PreparedJob, ShardedBackend,
+    BatchResult, DistributedBackend, ExecutionBackend, LocalBackend, PreparedJob, ShardedBackend,
 };
 use crate::job::ctx::CancelToken;
 use crate::job::error::RunError;
@@ -50,6 +50,16 @@ impl Engine {
     /// [`RunError::InvalidSpec`] for a degenerate topology.
     pub fn sharded(topology: ClusterTopology) -> Result<Self, RunError> {
         Ok(Self::with_backend(ShardedBackend::new(topology)?))
+    }
+
+    /// Creates an engine on a [`DistributedBackend`] coordinating one
+    /// remote [`NodeDaemon`](crate::job::daemon::NodeDaemon) per address.
+    ///
+    /// # Errors
+    /// [`RunError::Transport`] when a daemon cannot be reached or
+    /// handshaken.
+    pub fn distributed<A: std::net::ToSocketAddrs>(addrs: &[A]) -> Result<Self, RunError> {
+        Ok(Self::with_backend(DistributedBackend::connect(addrs)?))
     }
 
     /// Creates an engine on any execution backend.

@@ -25,6 +25,11 @@ pub enum RunError {
     },
     /// The job thread panicked; the payload message is preserved.
     Panicked(String),
+    /// Distributed execution lost contact with the job: the node running
+    /// it died (and no survivor could take it over), the connection
+    /// broke, or a wire payload failed to decode. The message names the
+    /// node and the transport failure.
+    Transport(String),
 }
 
 impl fmt::Display for RunError {
@@ -42,6 +47,7 @@ impl fmt::Display for RunError {
                 "deadline exceeded after {completed_iterations} iterations"
             ),
             RunError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            RunError::Transport(msg) => write!(f, "transport failure: {msg}"),
         }
     }
 }

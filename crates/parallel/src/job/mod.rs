@@ -16,9 +16,13 @@
 //!
 //! *Where* jobs run is pluggable (the [`backend`] module): the default
 //! [`backend::LocalBackend`] drives everything on one machine's shared
-//! pool, while [`backend::ShardedBackend`] simulates the eq. (4) `s × t`
-//! cluster — per-node worker pools, bounded admission queues, LPT
-//! placement — behind the same `JobSpec`/`JobHandle` surface.
+//! pool, [`backend::ShardedBackend`] simulates the eq. (4) `s × t`
+//! cluster in-process — per-node worker pools, bounded admission queues,
+//! LPT placement — and [`backend::DistributedBackend`] makes the cluster
+//! real: it coordinates remote [`daemon::NodeDaemon`] processes over TCP
+//! sockets using the versioned [`wire`] format, with heartbeat-based
+//! failure detection and rescheduling, behind the same
+//! `JobSpec`/`JobHandle` surface.
 //!
 //! The module tree mirrors the job lifecycle: [`spec`](JobSpec) (what to
 //! run) → [`engine`](Engine) (validate and wire up) → [`backend`] (where
@@ -50,13 +54,19 @@
 
 pub mod backend;
 mod ctx;
+pub mod daemon;
 mod engine;
 mod error;
 mod handle;
 mod spec;
+pub mod wire;
 
-pub use backend::{ExecutionBackend, LocalBackend, ShardPlacement, ShardedBackend};
+pub use backend::{
+    DistributedBackend, DistributedConfig, ExecutionBackend, LocalBackend, ShardPlacement,
+    ShardedBackend,
+};
 pub use ctx::{CancelToken, Checkpointer, Event, ProgressCounter, RunCtx};
+pub use daemon::{InProcessDaemon, NodeDaemon};
 pub use engine::Engine;
 pub use error::RunError;
 pub use handle::{Batch, JobHandle};

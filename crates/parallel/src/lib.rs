@@ -31,9 +31,13 @@
 //! [`job::Engine::submit_batch`] streams per-job reports across N images.
 //! *Where* jobs run is pluggable ([`job::backend`]): the default
 //! [`job::LocalBackend`] keeps everything on one machine's shared pool,
-//! while [`job::ShardedBackend`] simulates the eq. (4) `s × t` cluster —
+//! [`job::ShardedBackend`] simulates the eq. (4) `s × t` cluster —
 //! per-node worker pools, bounded admission queues, LPT placement, and
-//! per-node [`engine::NodeTiming`]s in every report.
+//! per-node [`engine::NodeTiming`]s in every report — and
+//! [`job::DistributedBackend`] coordinates *real* nodes: one
+//! [`job::NodeDaemon`] process per machine, reached over TCP with the
+//! versioned [`job::wire`] format, heartbeat failure detection and
+//! failure-aware rescheduling.
 
 #![warn(missing_docs)]
 
@@ -53,8 +57,6 @@ pub use blind::{
     cluster_duplicates, run_blind, run_blind_ctx, BlindOptions, BlindResult, DisputePolicy,
     MergeCandidate, MergeOutcome,
 };
-#[allow(deprecated)]
-pub use engine::by_name;
 pub use engine::{
     registry, BlindStrategy, IntelligentStrategy, Mc3Strategy, NaiveStrategy, NodeTiming,
     PeriodicStrategy, PhaseTiming, RunDiagnostics, RunReport, RunRequest, SequentialStrategy,
@@ -64,8 +66,9 @@ pub use intelligent::{
     run_intelligent, run_intelligent_ctx, IntelligentPartitioner, IntelligentResult,
 };
 pub use job::{
-    Batch, CancelToken, Checkpointer, Engine, Event, ExecutionBackend, JobHandle, JobId, JobSpec,
-    LocalBackend, ProgressCounter, RunCtx, RunError, ShardPlacement, ShardedBackend,
+    Batch, CancelToken, Checkpointer, DistributedBackend, DistributedConfig, Engine, Event,
+    ExecutionBackend, InProcessDaemon, JobHandle, JobId, JobSpec, LocalBackend, NodeDaemon,
+    ProgressCounter, RunCtx, RunError, ShardPlacement, ShardedBackend,
 };
 pub use mc3par::{run_mc3_parallel, run_mc3_parallel_ctx, Mc3Report};
 pub use naive::{run_naive, run_naive_ctx, NaiveOptions, NaivePrior, NaiveResult};

@@ -19,15 +19,23 @@
 //! * [`cluster`] — the eq. (4) `s × t` topology shape ([`ClusterTopology`],
 //!   [`NodeId`]) and the per-node [`Admission`] semaphore the sharded
 //!   execution backend builds its simulated multi-node cluster from.
+//! * [`wire`] — the versioned, length-prefixed binary format the
+//!   distributed backend speaks over sockets (and the serialisation
+//!   substrate for checkpoint/resume).
+//! * [`net`] — framed blocking TCP transport ([`FrameConn`]) carrying
+//!   [`wire`] frames between the coordinator and node daemons.
 
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod net;
 pub mod pool;
 pub mod scheduler;
 pub mod team;
+pub mod wire;
 
 pub use cluster::{Admission, ClusterTopology, NodeId};
+pub use net::FrameConn;
 pub use pool::{PoolStats, WorkerPool};
 pub use scheduler::{
     list_schedule_makespan, list_schedule_makespan_naive, lpt_makespan, lpt_order,

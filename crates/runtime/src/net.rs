@@ -1,0 +1,177 @@
+//! Framed socket transport for the distributed backend: a thin,
+//! blocking wrapper gluing [`crate::wire`] frames onto `std::net`
+//! TCP streams.
+//!
+//! One [`FrameConn`] is one direction-agnostic framed stream. The
+//! distributed coordinator clones a connection per node (one clone for
+//! its reader thread, one behind a mutex for senders) via
+//! [`FrameConn::try_clone`]; [`FrameConn::shutdown`] unblocks a reader
+//! parked in `recv` from another thread — the mechanism the
+//! heartbeat-timeout monitor uses to retire an unresponsive node.
+
+use crate::wire::{read_frame, write_frame, Frame, FrameKind, WireError};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A framed, blocking TCP connection.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+}
+
+impl FrameConn {
+    /// Connects to `addr` with `TCP_NODELAY` set (frames are small and
+    /// latency-sensitive; Nagle batching would delay heartbeats).
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Connects, retrying for up to `timeout` — daemons and coordinators
+    /// race at startup, so first contact tolerates a listener that is not
+    /// up yet.
+    ///
+    /// # Errors
+    /// The last connection failure once `timeout` elapses.
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(conn) => return Ok(conn),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Wraps an accepted stream, setting `TCP_NODELAY`.
+    ///
+    /// # Errors
+    /// Propagates socket-option failures.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// The peer's address.
+    ///
+    /// # Errors
+    /// Propagates socket failures (e.g. an already-closed stream).
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// A second handle to the same socket (shared read/write positions;
+    /// used to split one connection between a reader thread and senders).
+    ///
+    /// # Errors
+    /// Propagates `dup` failures.
+    pub fn try_clone(&self) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: self.stream.try_clone()?,
+        })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] when the peer is gone mid-write.
+    pub fn send(&mut self, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+        write_frame(&mut self.stream, kind, payload)
+    }
+
+    /// Receives one frame, blocking until a full frame or a transport
+    /// error arrives.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] on disconnect, plus the protocol violations
+    /// documented on [`read_frame`].
+    pub fn recv(&mut self) -> Result<Frame, WireError> {
+        read_frame(&mut self.stream)
+    }
+
+    /// Half-closes both directions, failing any blocked `recv`/`send` on
+    /// other clones of this connection. Idempotent in effect: repeated
+    /// shutdowns of an already-dead socket only return an error, which
+    /// callers retiring a node ignore.
+    ///
+    /// # Errors
+    /// Propagates socket failures.
+    pub fn shutdown(&self) -> std::io::Result<()> {
+        self.stream.shutdown(Shutdown::Both)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Hello, Wire, WIRE_VERSION};
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_cross_a_loopback_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = FrameConn::from_stream(stream).expect("wrap");
+            let frame = conn.recv().expect("recv hello");
+            assert_eq!(frame.kind, FrameKind::Hello);
+            let hello = Hello::from_wire_bytes(&frame.payload).expect("decode");
+            conn.send(
+                FrameKind::Hello,
+                &Hello {
+                    workers: 4,
+                    ..hello
+                }
+                .to_wire_bytes(),
+            )
+            .expect("send reply");
+        });
+
+        let mut conn = FrameConn::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        conn.send(
+            FrameKind::Hello,
+            &Hello {
+                version: WIRE_VERSION,
+                node: 9,
+                workers: 0,
+            }
+            .to_wire_bytes(),
+        )
+        .expect("send");
+        let reply = conn.recv().expect("reply");
+        let hello = Hello::from_wire_bytes(&reply.payload).expect("decode reply");
+        assert_eq!(hello.node, 9);
+        assert_eq!(hello.workers, 4);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_parked_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let server = std::thread::spawn(move || {
+            // Hold the connection open but silent.
+            let (stream, _) = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(300));
+            drop(stream);
+        });
+        let conn = FrameConn::connect_timeout(&addr, Duration::from_secs(5)).expect("connect");
+        let mut reader = conn.try_clone().expect("clone");
+        let parked = std::thread::spawn(move || reader.recv());
+        std::thread::sleep(Duration::from_millis(50));
+        conn.shutdown().expect("shutdown");
+        let result = parked.join().expect("reader thread");
+        assert!(result.is_err(), "recv on a shut-down socket must fail");
+        server.join().expect("server thread");
+    }
+}

@@ -8,11 +8,19 @@
 //!
 //! Run with: `cargo run --release --example cluster`
 //! (`PMCMC_QUICK=1` shrinks the budget for CI smoke runs).
+//!
+//! Pass `--distributed` (or set `PMCMC_DISTRIBUTED=1`) to run the same
+//! sweep on the *socket-backed* distributed backend instead: the example
+//! stands up two in-process node daemons on loopback TCP and coordinates
+//! them through the versioned wire protocol — the exact deployment shape
+//! of one `node_daemon` process per machine, minus the machines.
 
 use pmcmc::parallel::theory::eq4_time;
 use pmcmc::prelude::*;
 
 fn main() {
+    let distributed = std::env::args().any(|a| a == "--distributed")
+        || std::env::var_os("PMCMC_DISTRIBUTED").is_some();
     let budget: u64 = if std::env::var_os("PMCMC_QUICK").is_some() {
         5_000
     } else {
@@ -37,12 +45,39 @@ fn main() {
     let params = ModelParams::new(256, 256, 16.0, 9.0);
 
     // 1. Choose a backend. `Engine::new(t)` is a single machine;
-    //    `Engine::sharded` simulates an s × t cluster. Topologies also
-    //    carry the per-node admission bound: with `max_in_flight(1)`,
-    //    submitting more jobs than nodes back-pressures the submitter
-    //    instead of oversubscribing a node.
+    //    `Engine::sharded` simulates an s × t cluster in-process; with
+    //    `--distributed`, `Engine::distributed` coordinates real node
+    //    daemons over TCP sockets. Topologies also carry the per-node
+    //    admission bound: with `max_in_flight(1)`, submitting more jobs
+    //    than nodes back-pressures the submitter instead of
+    //    oversubscribing a node.
     let topology = ClusterTopology::new(2, 2).max_in_flight(1);
-    let engine = Engine::sharded(topology).expect("topology is valid");
+    // Daemons live for the whole sweep; dropping them after main ends the
+    // processes' threads with the process.
+    let mut daemons: Vec<InProcessDaemon> = Vec::new();
+    let engine = if distributed {
+        for _ in 0..topology.nodes() {
+            daemons.push(InProcessDaemon::spawn(2, 1).expect("loopback daemon starts"));
+        }
+        let addrs: Vec<std::net::SocketAddr> = daemons.iter().map(|d| d.addr()).collect();
+        println!(
+            "distributed mode: {} node daemons on {:?}",
+            daemons.len(),
+            addrs
+        );
+        Engine::with_backend(
+            DistributedBackend::connect_with(
+                &addrs,
+                DistributedConfig {
+                    max_in_flight: 1,
+                    ..DistributedConfig::default()
+                },
+            )
+            .expect("coordinator connects"),
+        )
+    } else {
+        Engine::sharded(topology).expect("topology is valid")
+    };
     println!(
         "cluster: {topology} via the `{}` backend",
         engine.backend().name()

@@ -106,16 +106,15 @@ pub mod prelude {
     };
     pub use pmcmc_imaging::synth::{generate, generate_clustered, ClusterSpec, Scene, SceneSpec};
     pub use pmcmc_imaging::{Circle, GrayImage, Mask, PartitionGrid, Rect};
-    #[allow(deprecated)]
-    pub use pmcmc_parallel::by_name;
     pub use pmcmc_parallel::{
         registry, run_blind, run_intelligent, run_naive, Batch, BlindOptions, BlindStrategy,
-        CancelToken, DisputePolicy, Engine, Event, ExecutionBackend, IntelligentPartitioner,
-        IntelligentStrategy, JobHandle, JobId, JobSpec, LocalBackend, Mc3Strategy, NaiveOptions,
-        NaiveStrategy, NodeTiming, PartitionScheme, PeriodicOptions, PeriodicSampler,
-        PeriodicStrategy, RunCtx, RunError, RunReport, RunRequest, SequentialStrategy,
-        ShardPlacement, ShardedBackend, SpeculativeSampler, SpeculativeStrategy, Strategy,
-        StrategySpec, SubChainOptions, Validity, STRATEGY_NAMES,
+        CancelToken, DisputePolicy, DistributedBackend, DistributedConfig, Engine, Event,
+        ExecutionBackend, InProcessDaemon, IntelligentPartitioner, IntelligentStrategy, JobHandle,
+        JobId, JobSpec, LocalBackend, Mc3Strategy, NaiveOptions, NaiveStrategy, NodeDaemon,
+        NodeTiming, PartitionScheme, PeriodicOptions, PeriodicSampler, PeriodicStrategy, RunCtx,
+        RunError, RunReport, RunRequest, SequentialStrategy, ShardPlacement, ShardedBackend,
+        SpeculativeSampler, SpeculativeStrategy, Strategy, StrategySpec, SubChainOptions, Validity,
+        STRATEGY_NAMES,
     };
     pub use pmcmc_runtime::{ClusterTopology, NodeId, WorkerPool};
 }
