@@ -4,14 +4,15 @@
 //! and the dispatch latencies of the two runtime substrates.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pmcmc_core::coverage::CoverageGrid;
 use pmcmc_core::moves::propose;
 use pmcmc_core::sampler::evaluate_proposal;
 use pmcmc_core::{
-    Configuration, ModelParams, MoveKind, MoveWeights, NucleiModel, Sampler, TileWorkspace,
+    Configuration, Edit, ModelParams, MoveKind, MoveWeights, NucleiModel, Sampler, TileWorkspace,
     Xoshiro256,
 };
 use pmcmc_imaging::synth::{generate, SceneSpec};
-use pmcmc_imaging::{IntegralImage, Rect};
+use pmcmc_imaging::{Circle, IntegralImage, Rect};
 use pmcmc_runtime::{SpinTeam, WorkerPool};
 use std::hint::black_box;
 
@@ -109,6 +110,55 @@ fn bench_tile_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_coverage_kernel(c: &mut Criterion) {
+    let (model, config) = workload();
+    let frame = Rect::of_image(512, 512);
+    let probe = Circle::new(256.3, 255.6, 10.4);
+    let mut group = c.benchmark_group("coverage_kernel");
+    // Occupancy-bitset fast path: every pixel crosses 0↔1 on an empty grid.
+    group.bench_function("add_remove_sparse", |b| {
+        let mut grid = CoverageGrid::new(frame);
+        b.iter(|| {
+            black_box(grid.add_circle(&probe, &model.gain));
+            black_box(grid.remove_circle(&probe, &model.gain));
+        });
+    });
+    // Scalar fallback: the probe sits under an overlapping clump.
+    group.bench_function("add_remove_dense", |b| {
+        let clump: Vec<Circle> = (0..6)
+            .map(|i| {
+                Circle::new(
+                    248.0 + f64::from(i) * 3.0,
+                    254.0 + f64::from(i % 3) * 4.0,
+                    11.0,
+                )
+            })
+            .collect();
+        let (mut grid, _) = CoverageGrid::from_circles(frame, &clump, &model.gain);
+        b.iter(|| {
+            black_box(grid.add_circle(&probe, &model.gain));
+            black_box(grid.remove_circle(&probe, &model.gain));
+        });
+    });
+    // Merged-run delta evaluator, prefix-sum path (birth in open space)
+    // and span-merge scalar path (jittered move of an existing circle).
+    group.bench_function("delta_spans_birth", |b| {
+        let birth = Edit::add_one(Circle::new(40.2, 470.7, 9.3));
+        b.iter(|| black_box(config.delta_log_lik_readonly(&birth, &model)));
+    });
+    if !config.circles().is_empty() {
+        let c0 = config.circles()[0];
+        let moved = Edit {
+            remove: vec![0],
+            add: vec![Circle::new(c0.x + 1.3, c0.y - 0.7, c0.r)],
+        };
+        group.bench_function("delta_spans_move", |b| {
+            b.iter(|| black_box(config.delta_log_lik_readonly(&moved, &model)));
+        });
+    }
+    group.finish();
+}
+
 fn bench_imaging(c: &mut Criterion) {
     let spec = SceneSpec {
         width: 512,
@@ -156,6 +206,7 @@ criterion_group!(
     bench_moves,
     bench_sampler_step,
     bench_tile_overhead,
+    bench_coverage_kernel,
     bench_imaging,
     bench_runtime_dispatch
 );

@@ -9,8 +9,8 @@
 //! other job.
 
 use pmcmc_bench::{
-    bench_iters, host_meta_json, json_escape, perf_json, print_header, quick_mode,
-    section7_workload, write_bench_artifact,
+    bench_iters, host_meta_json, json_escape, kernel_micro_rows, perf_json, print_header,
+    quick_mode, section7_workload, write_bench_artifact,
 };
 use pmcmc_core::match_circles;
 use pmcmc_parallel::engine::StrategySpec;
@@ -98,16 +98,33 @@ fn main() {
          validity for wall time; the naive row shows the boundary anomalies of §II."
     );
 
+    // Coverage-kernel micro rows: span-kernel hot ops timed in isolation
+    // so bench_guard can flag kernel regressions independently of the
+    // end-to-end strategy timings.
+    println!("\ncoverage-kernel micro (best-of-5 sweeps):");
+    let kernel_rows: Vec<String> = kernel_micro_rows()
+        .iter()
+        .map(|k| {
+            println!("  {:<24} {:>10.1} ns/op", k.op, k.ns_per_op);
+            format!(
+                "    {{\"op\": \"{}\", \"ns_per_op\": {:.1}}}",
+                json_escape(k.op),
+                k.ns_per_op
+            )
+        })
+        .collect();
+
     // Machine-readable baseline for future PRs to diff against.
     let json = format!(
         "{{\n  \"bench\": \"strategy_matrix\",\n  \"mode\": \"{}\",\n  \
          \"iterations\": {},\n  \"workers\": {},\n  \"host\": {},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+         \"rows\": [\n{}\n  ],\n  \"kernel\": [\n{}\n  ]\n}}\n",
         if quick_mode() { "quick" } else { "full" },
         iters,
         engine.pool().threads(),
         host_meta_json(),
         json_rows.join(",\n"),
+        kernel_rows.join(",\n"),
     );
     match write_bench_artifact("BENCH_strategy_matrix.json", &json) {
         Ok(path) => println!("wrote {}", path.display()),

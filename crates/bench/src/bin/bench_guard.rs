@@ -11,12 +11,16 @@
 //! * the speculative scheme is additionally pinned to an absolute
 //!   `fraction_of_seq` of at most 2.0 — the regression that motivated the
 //!   perf-counter work was a 234x cliff, and a relative band on a broken
-//!   baseline would wave it through.
+//!   baseline would wave it through;
+//! * the coverage-kernel micro rows (`"kernel"` array in the artefact)
+//!   must stay within 25% of their baseline ns/op — baselines written
+//!   before the span-kernel work carry no kernel rows and are tolerated
+//!   with a note.
 //!
 //! Run via `PMCMC_BENCH_QUICK=1 cargo run --release -p pmcmc-bench --bin
 //! bench_guard` (CI does exactly this).
 
-use pmcmc_bench::{bench_iters, quick_mode, section7_workload};
+use pmcmc_bench::{bench_iters, kernel_micro_rows, quick_mode, section7_workload};
 use pmcmc_parallel::engine::StrategySpec;
 use pmcmc_parallel::job::{Engine, JobSpec};
 
@@ -61,6 +65,18 @@ fn main() {
             println!("{} {msg}", if ok { "PASS" } else { "FAIL" });
             failed |= !ok;
         }
+    }
+
+    // Coverage-kernel micro rows: re-time the span-kernel hot ops and
+    // hold them to the same 25% band against the checked-in ns/op.
+    let kernel_baseline = parse_kernel_rows(&baseline_json);
+    let measured: Vec<(String, f64)> = kernel_micro_rows()
+        .into_iter()
+        .map(|k| (k.op.to_owned(), k.ns_per_op))
+        .collect();
+    for (ok, msg) in check_kernel_rows(&kernel_baseline, &measured) {
+        println!("{} {msg}", if ok { "PASS" } else { "FAIL" });
+        failed |= !ok;
     }
 
     // Cluster artefact: shape-check only (the sweep above is the timing
@@ -114,6 +130,52 @@ fn check_cluster_rows(json: &str) -> Vec<(bool, String)> {
             true,
             "cluster baseline predates distributed rows; tolerated".to_owned(),
         ));
+    }
+    out
+}
+
+/// Extracts `(op, ns_per_op)` pairs from the artefact's `"kernel"` array
+/// by the same line-scanning the strategy rows use.
+fn parse_kernel_rows(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(op) = extract_str(line, "\"op\": \"") else {
+            continue;
+        };
+        let Some(ns) = extract_num(line, "\"ns_per_op\": ") else {
+            continue;
+        };
+        out.push((op, ns));
+    }
+    out
+}
+
+/// Compares freshly measured kernel ns/op against the baseline rows.
+/// A baseline with no kernel rows at all (written before the span-kernel
+/// work) is tolerated with a note; a matched row regressed past
+/// `MAX_REGRESSION` fails.
+fn check_kernel_rows(
+    baseline: &[(String, f64)],
+    measured: &[(String, f64)],
+) -> Vec<(bool, String)> {
+    if baseline.is_empty() {
+        return vec![(
+            true,
+            "kernel baseline predates kernel rows; tolerated".to_owned(),
+        )];
+    }
+    let mut out = Vec::new();
+    for (op, ns) in measured {
+        match baseline.iter().find(|(name, _)| name == op) {
+            Some((_, base)) if *base > 0.0 => {
+                let limit = base * MAX_REGRESSION;
+                out.push((
+                    *ns <= limit,
+                    format!("kernel {op}: {ns:.1} ns/op vs baseline {base:.1} (limit {limit:.1})"),
+                ));
+            }
+            _ => out.push((true, format!("kernel {op}: no baseline row, skipped"))),
+        }
     }
     out
 }
@@ -283,6 +345,62 @@ mod tests {
     {"mode": "distributed", "nodes": 2, "threads_per_node": 2, "makespan_s": 0.450000, "fraction": 1.0922}
   ]
 }"#;
+
+    const KERNEL_SAMPLE: &str = r#"{
+  "rows": [
+    {"strategy": "sequential", "fraction_of_seq": 1.0000, "partitions": 1}
+  ],
+  "kernel": [
+    {"op": "grid_add_remove_sparse", "ns_per_op": 800.0},
+    {"op": "delta_spans_birth", "ns_per_op": 1200.0}
+  ]
+}"#;
+
+    #[test]
+    fn parses_kernel_rows_from_artifact() {
+        let rows = parse_kernel_rows(KERNEL_SAMPLE);
+        assert_eq!(
+            rows,
+            vec![
+                ("grid_add_remove_sparse".to_owned(), 800.0),
+                ("delta_spans_birth".to_owned(), 1200.0)
+            ]
+        );
+        // Strategy rows do not leak into the kernel table.
+        assert!(parse_kernel_rows(SAMPLE).is_empty());
+    }
+
+    #[test]
+    fn kernel_rows_within_band_pass_and_regressions_fail() {
+        let baseline = parse_kernel_rows(KERNEL_SAMPLE);
+        let ok = vec![
+            ("grid_add_remove_sparse".to_owned(), 900.0),
+            ("delta_spans_birth".to_owned(), 1400.0),
+        ];
+        assert!(check_kernel_rows(&baseline, &ok).iter().all(|(ok, _)| *ok));
+        // >25% over baseline fails.
+        let slow = vec![("grid_add_remove_sparse".to_owned(), 1100.0)];
+        assert!(check_kernel_rows(&baseline, &slow)
+            .iter()
+            .any(|(ok, _)| !ok));
+        // An op added since the baseline passes with a note.
+        let new_op = vec![("grid_crop_paste".to_owned(), 5000.0)];
+        assert!(check_kernel_rows(&baseline, &new_op)
+            .iter()
+            .all(|(ok, _)| *ok));
+    }
+
+    #[test]
+    fn kernel_baselines_without_rows_are_tolerated() {
+        // A baseline written before the span-kernel work carries no
+        // "kernel" array: pass with a note, never fail.
+        let measured = vec![("grid_add_remove_sparse".to_owned(), 1e9)];
+        let verdicts = check_kernel_rows(&parse_kernel_rows(SAMPLE), &measured);
+        assert!(verdicts.iter().all(|(ok, _)| *ok));
+        assert!(verdicts
+            .iter()
+            .any(|(_, msg)| msg.contains("predates kernel rows")));
+    }
 
     #[test]
     fn cluster_baselines_without_distributed_rows_are_tolerated() {

@@ -173,10 +173,17 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// Short git revision of the working tree, or `"unknown"` when git is
-/// unavailable (e.g. an exported tarball).
+/// Short git revision of the working tree, resolved at run time so every
+/// bench artefact written in one session stamps the same actual HEAD
+/// (`PMCMC_GIT_REV` overrides it, e.g. for hermetic CI sandboxes);
+/// `"unknown"` when git is unavailable (e.g. an exported tarball).
 #[must_use]
 pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("PMCMC_GIT_REV") {
+        if !rev.trim().is_empty() {
+            return rev.trim().to_owned();
+        }
+    }
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .current_dir(env!("CARGO_MANIFEST_DIR"))
@@ -208,7 +215,8 @@ pub fn perf_json(p: &pmcmc_core::PerfSnapshot) -> String {
     format!(
         "{{\"proposals_evaluated\": {}, \"pixels_visited\": {}, \
          \"pair_count_queries\": {}, \"pair_cache_hits\": {}, \
-         \"rng_refills\": {}, \"spin_wait_ns\": {}, \"spec_rounds\": {}}}",
+         \"rng_refills\": {}, \"spin_wait_ns\": {}, \"spec_rounds\": {}, \
+         \"span_fastpath_hits\": {}, \"pixels_skipped\": {}}}",
         p.proposals_evaluated,
         p.pixels_visited,
         p.pair_count_queries,
@@ -216,6 +224,8 @@ pub fn perf_json(p: &pmcmc_core::PerfSnapshot) -> String {
         p.rng_refills,
         p.spin_wait_ns,
         p.spec_rounds,
+        p.span_fastpath_hits,
+        p.pixels_skipped,
     )
 }
 
@@ -234,6 +244,117 @@ pub fn write_bench_artifact(file_name: &str, content: &str) -> std::io::Result<s
     let path = root.join(file_name);
     std::fs::write(&path, content)?;
     Ok(path)
+}
+
+/// One coverage-kernel micro measurement for bench artefacts.
+pub struct KernelRow {
+    /// Stable operation key (matched by name across baselines).
+    pub op: &'static str,
+    /// Best-of-sweeps nanoseconds per operation.
+    pub ns_per_op: f64,
+}
+
+/// Best-of-sweeps batched timing: runs `f` in batches of `batch` calls,
+/// keeps the fastest sweep, and reports nanoseconds per call.
+fn time_ns_per_op(batch: u32, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t = std::time::Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / f64::from(batch));
+    }
+    best
+}
+
+/// Times the span-kernel hot operations on a fixed 256² scene: the
+/// occupancy-bitset fast path (`grid_add_remove_sparse`), the scalar
+/// fallback under heavy overlap (`grid_add_remove_dense`), and the
+/// merged-run delta evaluator for a birth (prefix-sum path) and a move
+/// (span-merge scalar path). Row keys are stable so `bench_guard` can
+/// diff them against the committed baseline.
+#[must_use]
+pub fn kernel_micro_rows() -> Vec<KernelRow> {
+    use pmcmc_core::coverage::CoverageGrid;
+    use pmcmc_core::{Configuration, Edit};
+    use pmcmc_imaging::Rect;
+    use std::hint::black_box;
+
+    let spec = SceneSpec {
+        width: 256,
+        height: 256,
+        n_circles: 24,
+        radius_mean: 10.0,
+        radius_sd: 1.5,
+        radius_min: 5.0,
+        radius_max: 18.0,
+        noise_sd: 0.05,
+        ..SceneSpec::default()
+    };
+    let mut rng = Xoshiro256::new(11);
+    let scene = generate(&spec, &mut rng);
+    let img = scene.render(&mut rng);
+    let model = NucleiModel::new(&img, ModelParams::new(256, 256, 24.0, 10.0));
+    let frame = Rect::of_image(256, 256);
+    let probe = Circle::new(128.3, 127.6, 10.4);
+
+    let mut rows = Vec::new();
+
+    // Fast path: every covered pixel crosses 0↔1 on an empty grid.
+    let mut sparse = CoverageGrid::new(frame);
+    rows.push(KernelRow {
+        op: "grid_add_remove_sparse",
+        ns_per_op: time_ns_per_op(256, || {
+            black_box(sparse.add_circle(&probe, &model.gain));
+            black_box(sparse.remove_circle(&probe, &model.gain));
+        }),
+    });
+
+    // Scalar path: the probe sits under a clump, so counts stay mixed.
+    let clump: Vec<Circle> = (0..6)
+        .map(|i| {
+            Circle::new(
+                120.0 + f64::from(i) * 3.0,
+                126.0 + f64::from(i % 3) * 4.0,
+                11.0,
+            )
+        })
+        .collect();
+    let (mut dense, _) = CoverageGrid::from_circles(frame, &clump, &model.gain);
+    rows.push(KernelRow {
+        op: "grid_add_remove_dense",
+        ns_per_op: time_ns_per_op(256, || {
+            black_box(dense.add_circle(&probe, &model.gain));
+            black_box(dense.remove_circle(&probe, &model.gain));
+        }),
+    });
+
+    // Merged-run evaluator: a birth in open space rides the prefix-sum
+    // fast path; a jittered move keeps the span-merge scalar path warm.
+    let cfg = Configuration::from_circles(&model, &scene.circles);
+    let birth = Edit::add_one(Circle::new(40.2, 210.7, 9.3));
+    rows.push(KernelRow {
+        op: "delta_spans_birth",
+        ns_per_op: time_ns_per_op(256, || {
+            black_box(cfg.delta_log_lik_readonly(&birth, &model));
+        }),
+    });
+    let moved = {
+        let c = cfg.circles()[0];
+        Edit {
+            remove: vec![0],
+            add: vec![Circle::new(c.x + 1.3, c.y - 0.7, c.r)],
+        }
+    };
+    rows.push(KernelRow {
+        op: "delta_spans_move",
+        ns_per_op: time_ns_per_op(256, || {
+            black_box(cfg.delta_log_lik_readonly(&moved, &model));
+        }),
+    });
+    rows
 }
 
 /// Prints the standard bench header with workload scale information.
@@ -272,6 +393,17 @@ mod tests {
     }
 
     #[test]
+    fn git_rev_env_override_wins() {
+        std::env::set_var("PMCMC_GIT_REV", " abc1234 ");
+        let rev = git_rev();
+        std::env::remove_var("PMCMC_GIT_REV");
+        assert_eq!(rev, "abc1234");
+        // Without the override the helper resolves something non-empty
+        // (the actual HEAD here, "unknown" in an exported tarball).
+        assert!(!git_rev().is_empty());
+    }
+
+    #[test]
     fn perf_json_renders_every_counter() {
         let p = pmcmc_core::PerfSnapshot {
             proposals_evaluated: 1,
@@ -281,6 +413,8 @@ mod tests {
             rng_refills: 5,
             spin_wait_ns: 6,
             spec_rounds: 7,
+            span_fastpath_hits: 8,
+            pixels_skipped: 9,
         };
         let json = perf_json(&p);
         for field in [
@@ -291,6 +425,8 @@ mod tests {
             "\"rng_refills\": 5",
             "\"spin_wait_ns\": 6",
             "\"spec_rounds\": 7",
+            "\"span_fastpath_hits\": 8",
+            "\"pixels_skipped\": 9",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

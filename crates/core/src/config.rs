@@ -362,10 +362,12 @@ impl Configuration {
     /// Allocation-free row-span evaluation of the likelihood delta for
     /// edits touching at most [`SPAN_DISKS`] disks. For each image row the
     /// affected disks' pixel spans are computed with the exact arithmetic
-    /// of [`crate::coverage::for_each_disk_pixel`], merged, and walked
-    /// once; span membership replaces the per-pixel `covers_pixel` float
-    /// tests, and coverage counts / gains are read through row slices so
-    /// the inner loop is a branch-light linear scan.
+    /// of [`crate::coverage::for_each_disk_row`], merged, and resolved
+    /// run-by-run: a run owned by a single disk consults the coverage
+    /// grid's occupancy/multi bitsets, and in the overlap-free case its
+    /// whole gain sum is one [`crate::likelihood::Gain::row_prefix`]
+    /// subtraction; mixed-coverage and multi-disk runs fall back to a
+    /// branch-light linear scan over contiguous row slices.
     fn delta_log_lik_spans(&self, edit: &Edit, model: &NucleiModel) -> f64 {
         let frame = self.coverage.rect();
         // (circle, is_add), removed first — order is immaterial, each union
@@ -392,6 +394,8 @@ impl Configuration {
         }
         let mut delta = 0.0;
         let mut pixels = 0u64;
+        let mut fast_hits = 0u64;
+        let mut skipped = 0u64;
         for py in y0..=y1 {
             // Per-disk spans [x0, x1] on this row (empty spans skipped).
             let mut spans = [(0i64, 0i64, false); SPAN_DISKS];
@@ -425,6 +429,50 @@ impl Configuration {
             let cov_row = self.coverage.row(py);
             let gain_row = model.gain.row(py as u32);
             let spans = &spans[..ns];
+            // Segment [lo, hi] where exactly one disk's span changes: the
+            // bitsets decide the whole segment at once, and in the
+            // overlap-free case its gain sum is one prefix subtraction.
+            // Accumulators are passed in so the multi-span branch below
+            // can keep using them directly.
+            let eval_single = |lo: i64,
+                               hi: i64,
+                               is_add: bool,
+                               delta: &mut f64,
+                               pixels: &mut u64,
+                               fast_hits: &mut u64,
+                               skipped: &mut u64| {
+                let len = (hi - lo + 1) as u64;
+                if is_add {
+                    if self.coverage.span_uncovered(py, lo, hi) {
+                        // Every pixel crosses 0→1: one prefix subtraction.
+                        let pre = model.gain.row_prefix(py as u32);
+                        *delta += pre[(hi + 1) as usize] - pre[lo as usize];
+                        *fast_hits += 1;
+                        *skipped += len;
+                    } else {
+                        for x in lo..=hi {
+                            if cov_row[(x - frame.x0) as usize] == 0 {
+                                *delta += gain_row[x as usize];
+                            }
+                        }
+                        *pixels += len;
+                    }
+                } else if self.coverage.span_singly_covered(py, lo, hi) {
+                    // The removed disk covers its own span (count ≥ 1)
+                    // and nothing else does: every pixel crosses 1→0.
+                    let pre = model.gain.row_prefix(py as u32);
+                    *delta -= pre[(hi + 1) as usize] - pre[lo as usize];
+                    *fast_hits += 1;
+                    *skipped += len;
+                } else {
+                    for x in lo..=hi {
+                        if cov_row[(x - frame.x0) as usize] == 1 {
+                            *delta -= gain_row[x as usize];
+                        }
+                    }
+                    *pixels += len;
+                }
+            };
             let mut i = 0;
             while i < ns {
                 // Grow one merged (contiguous) union run.
@@ -435,37 +483,88 @@ impl Configuration {
                     hi = hi.max(spans[j].1);
                     j += 1;
                 }
-                for x in lo..=hi {
-                    let mut minus = 0i64;
-                    let mut plus = 0i64;
-                    for &(sx0, sx1, is_add) in spans {
-                        if x >= sx0 && x <= sx1 {
-                            if is_add {
-                                plus += 1;
-                            } else {
-                                minus += 1;
+                let len = (hi - lo + 1) as u64;
+                if j == i + 1 {
+                    eval_single(
+                        lo,
+                        hi,
+                        spans[i].2,
+                        &mut delta,
+                        &mut pixels,
+                        &mut fast_hits,
+                        &mut skipped,
+                    );
+                } else if j == i + 2 && spans[i].2 != spans[i + 1].2 {
+                    // One removed and one added span (the move shape):
+                    // inside their intersection −1 and +1 cancel, so the
+                    // count — and hence the likelihood — cannot change
+                    // there. Only the symmetric difference needs work,
+                    // and each sliver is a single-disk segment.
+                    let (a0, a1, ka) = spans[i];
+                    let (b0, b1, kb) = spans[i + 1];
+                    let cut = a1.min(b1);
+                    if a0 < b0 {
+                        eval_single(
+                            a0,
+                            b0 - 1,
+                            ka,
+                            &mut delta,
+                            &mut pixels,
+                            &mut fast_hits,
+                            &mut skipped,
+                        );
+                    }
+                    if cut >= b0 {
+                        skipped += (cut - b0 + 1) as u64;
+                    }
+                    if cut < hi {
+                        eval_single(
+                            cut + 1,
+                            hi,
+                            if a1 > b1 { ka } else { kb },
+                            &mut delta,
+                            &mut pixels,
+                            &mut fast_hits,
+                            &mut skipped,
+                        );
+                    }
+                } else {
+                    for x in lo..=hi {
+                        let mut minus = 0i64;
+                        let mut plus = 0i64;
+                        for &(sx0, sx1, is_add) in spans {
+                            if x >= sx0 && x <= sx1 {
+                                if is_add {
+                                    plus += 1;
+                                } else {
+                                    minus += 1;
+                                }
                             }
                         }
+                        let count = i64::from(cov_row[(x - frame.x0) as usize]);
+                        let pre = count > 0;
+                        let post = count - minus + plus > 0;
+                        if pre != post {
+                            let g = gain_row[x as usize];
+                            delta += if post { g } else { -g };
+                        }
                     }
-                    let count = i64::from(cov_row[(x - frame.x0) as usize]);
-                    let pre = count > 0;
-                    let post = count - minus + plus > 0;
-                    if pre != post {
-                        let g = gain_row[x as usize];
-                        delta += if post { g } else { -g };
-                    }
+                    pixels += len;
                 }
-                pixels += (hi - lo + 1) as u64;
                 i = j;
             }
         }
         crate::perf::add_pixels_visited(pixels);
+        crate::perf::add_span_fastpath_hits(fast_hits);
+        crate::perf::add_pixels_skipped(skipped);
         delta
     }
 
-    /// General per-pixel evaluation (any disk count): visit the union of
-    /// all affected disks, counting each pixel once — a pixel is handled by
-    /// the first disk (in removed ++ added order) that covers it.
+    /// General evaluation (any disk count): visit the union of all
+    /// affected disks row-span by row-span, counting each pixel once — a
+    /// pixel is handled by the first disk (in removed ++ added order) that
+    /// covers it. Coverage counts and gains are read through contiguous
+    /// row slices; only the membership tests stay per-pixel.
     fn delta_log_lik_general(&self, edit: &Edit, model: &NucleiModel) -> f64 {
         let gain = &model.gain;
         let removed: Vec<Circle> = edit.remove.iter().map(|&i| self.circles[i]).collect();
@@ -474,19 +573,23 @@ impl Configuration {
         let frame = self.coverage.rect();
         let all: Vec<&Circle> = removed.iter().chain(edit.add.iter()).collect();
         for (di, disk) in all.iter().enumerate() {
-            crate::coverage::for_each_disk_pixel(disk, &frame, |x, y| {
-                if all[..di].iter().any(|d| d.covers_pixel(x, y)) {
-                    return; // already handled by an earlier disk
-                }
-                pixels += 1;
-                let count = i64::from(self.coverage.count(x, y));
-                let minus = removed.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
-                let plus = edit.add.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
-                let pre = count > 0;
-                let post = count - minus + plus > 0;
-                if pre != post {
-                    let g = gain.get(x as u32, y as u32);
-                    delta += if post { g } else { -g };
+            crate::coverage::for_each_disk_row(disk, &frame, |y, x0, x1| {
+                let cov_row = self.coverage.row(y);
+                let gain_row = gain.row(y as u32);
+                for x in x0..=x1 {
+                    if all[..di].iter().any(|d| d.covers_pixel(x, y)) {
+                        continue; // already handled by an earlier disk
+                    }
+                    pixels += 1;
+                    let count = i64::from(cov_row[(x - frame.x0) as usize]);
+                    let minus = removed.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
+                    let plus = edit.add.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
+                    let pre = count > 0;
+                    let post = count - minus + plus > 0;
+                    if pre != post {
+                        let g = gain_row[x as usize];
+                        delta += if post { g } else { -g };
+                    }
                 }
             });
         }

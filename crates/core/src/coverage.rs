@@ -6,22 +6,55 @@
 //! the 0↔1 boundary. The grid may represent the full image or one
 //! partition tile (it stores its own global-coordinate rectangle), which is
 //! how tile workers operate on private copies of their sub-grid.
+//!
+//! The hot operations are span-based: a disk is a set of contiguous row
+//! spans ([`for_each_disk_row`] is the single source of truth for the span
+//! arithmetic), and per-row occupancy bitsets detect the overlap-free
+//! common case, where a whole span crosses 0↔1 together and its gain sum
+//! is one prefix-table subtraction ([`Gain::row_prefix`]) instead of an
+//! O(span) walk. Mixed-coverage spans fall back to a scalar walk over
+//! contiguous row slices.
 
 use crate::likelihood::Gain;
 use pmcmc_imaging::{Circle, Rect};
 
 /// Cover counts over a rectangular region of the image.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Alongside the raw `u16` counts the grid maintains two per-row bitsets
+/// (`occ`: count ≥ 1, `multi`: count ≥ 2) and a running covered-pixel
+/// counter, so the overlap-free fast paths and [`CoverageGrid::covered_pixels`]
+/// never rescan the counts array.
+#[derive(Debug, Clone)]
 pub struct CoverageGrid {
     /// The region this grid represents, in global image coordinates.
     rect: Rect,
     counts: Vec<u16>,
+    /// Per-row occupancy bitset: bit `x - rect.x0` of row `y - rect.y0` is
+    /// set iff the pixel's count is ≥ 1. `words_per_row` u64 words per row.
+    occ: Vec<u64>,
+    /// Per-row multi-coverage bitset: bit set iff the count is ≥ 2.
+    multi: Vec<u64>,
+    words_per_row: usize,
+    /// Running number of covered pixels (count ≥ 1).
+    covered: usize,
 }
 
-/// Visits every integer pixel of `circle`'s disk clipped to `rect`,
-/// row-by-row (exact span arithmetic; the single source of truth for what
-/// "the disk's pixels" means, shared by add and remove).
-pub fn for_each_disk_pixel(circle: &Circle, rect: &Rect, mut f: impl FnMut(i64, i64)) {
+/// Equality is defined by the counts (the bitsets and covered counter are
+/// derived state and always consistent with them).
+impl PartialEq for CoverageGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.rect == other.rect && self.counts == other.counts
+    }
+}
+
+impl Eq for CoverageGrid {}
+
+/// Visits every row span of `circle`'s disk clipped to `rect` as
+/// `(y, x0, x1)` with `x0..=x1` inclusive (exact span arithmetic; the
+/// single source of truth for what "the disk's pixels" means, shared by
+/// add, remove, and the configuration's readonly delta walkers). Empty
+/// rows are skipped.
+pub fn for_each_disk_row(circle: &Circle, rect: &Rect, mut f: impl FnMut(i64, i64, i64)) {
     let y0 = ((circle.y - circle.r - 0.5).ceil() as i64).max(rect.y0);
     let y1 = ((circle.y + circle.r - 0.5).floor() as i64).min(rect.y1 - 1);
     let r2 = circle.r * circle.r;
@@ -34,19 +67,95 @@ pub fn for_each_disk_pixel(circle: &Circle, rect: &Rect, mut f: impl FnMut(i64, 
         let h = h2.sqrt();
         let x0 = ((circle.x - h - 0.5).ceil() as i64).max(rect.x0);
         let x1 = ((circle.x + h - 0.5).floor() as i64).min(rect.x1 - 1);
-        for px in x0..=x1 {
-            f(px, py);
+        if x0 > x1 {
+            continue;
         }
+        f(py, x0, x1);
     }
+}
+
+/// Visits every integer pixel of `circle`'s disk clipped to `rect`,
+/// row-by-row. Thin wrapper over [`for_each_disk_row`].
+pub fn for_each_disk_pixel(circle: &Circle, rect: &Rect, mut f: impl FnMut(i64, i64)) {
+    for_each_disk_row(circle, rect, |y, x0, x1| {
+        for x in x0..=x1 {
+            f(x, y);
+        }
+    });
+}
+
+/// True iff bits `b0..=b1` of `words` are all zero.
+#[inline]
+fn span_bits_all_zero(words: &[u64], b0: usize, b1: usize) -> bool {
+    let (w0, w1) = (b0 / 64, b1 / 64);
+    let first = !0u64 << (b0 % 64);
+    let last = !0u64 >> (63 - b1 % 64);
+    if w0 == w1 {
+        return words[w0] & first & last == 0;
+    }
+    if words[w0] & first != 0 || words[w1] & last != 0 {
+        return false;
+    }
+    words[w0 + 1..w1].iter().all(|&w| w == 0)
+}
+
+/// Sets bits `b0..=b1` of `words`.
+#[inline]
+fn span_bits_set(words: &mut [u64], b0: usize, b1: usize) {
+    let (w0, w1) = (b0 / 64, b1 / 64);
+    let first = !0u64 << (b0 % 64);
+    let last = !0u64 >> (63 - b1 % 64);
+    if w0 == w1 {
+        words[w0] |= first & last;
+        return;
+    }
+    words[w0] |= first;
+    words[w1] |= last;
+    for w in &mut words[w0 + 1..w1] {
+        *w = !0;
+    }
+}
+
+/// Clears bits `b0..=b1` of `words`.
+#[inline]
+fn span_bits_clear(words: &mut [u64], b0: usize, b1: usize) {
+    let (w0, w1) = (b0 / 64, b1 / 64);
+    let first = !0u64 << (b0 % 64);
+    let last = !0u64 >> (63 - b1 % 64);
+    if w0 == w1 {
+        words[w0] &= !(first & last);
+        return;
+    }
+    words[w0] &= !first;
+    words[w1] &= !last;
+    for w in &mut words[w0 + 1..w1] {
+        *w = 0;
+    }
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], b: usize) {
+    words[b / 64] |= 1u64 << (b % 64);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], b: usize) {
+    words[b / 64] &= !(1u64 << (b % 64));
 }
 
 impl CoverageGrid {
     /// Creates an all-zero grid covering `rect`.
     #[must_use]
     pub fn new(rect: Rect) -> Self {
+        let words_per_row = (rect.width().max(0) as usize).div_ceil(64);
+        let rows = rect.height().max(0) as usize;
         Self {
             rect,
             counts: vec![0; rect.area().max(0) as usize],
+            occ: vec![0; rows * words_per_row],
+            multi: vec![0; rows * words_per_row],
+            words_per_row,
+            covered: 0,
         }
     }
 
@@ -85,18 +194,107 @@ impl CoverageGrid {
         &self.counts[start..start + w]
     }
 
+    /// Occupancy and multi-coverage bitset words of row `y` (global
+    /// coordinate); bit `x - rect.x0` of `occ` is set iff the pixel's
+    /// count is ≥ 1, of `multi` iff it is ≥ 2.
+    #[inline]
+    fn bit_rows(&self, y: i64) -> (&[u64], &[u64]) {
+        let wpr = self.words_per_row;
+        let start = ((y - self.rect.y0) as usize) * wpr;
+        (
+            &self.occ[start..start + wpr],
+            &self.multi[start..start + wpr],
+        )
+    }
+
+    /// True iff no pixel of the inclusive global-x span `[x0, x1]` of row
+    /// `y` is covered. O(span/64) via the occupancy bitset.
+    ///
+    /// # Panics
+    /// Panics if the span lies outside the grid's region.
+    #[must_use]
+    pub fn span_uncovered(&self, y: i64, x0: i64, x1: i64) -> bool {
+        assert!(y >= self.rect.y0 && y < self.rect.y1, "row outside grid");
+        assert!(
+            x0 >= self.rect.x0 && x1 < self.rect.x1 && x0 <= x1,
+            "span outside grid"
+        );
+        let (occ, _) = self.bit_rows(y);
+        span_bits_all_zero(
+            occ,
+            (x0 - self.rect.x0) as usize,
+            (x1 - self.rect.x0) as usize,
+        )
+    }
+
+    /// True iff no pixel of the inclusive global-x span `[x0, x1]` of row
+    /// `y` has a cover count ≥ 2. Combined with the invariant that a disk
+    /// being removed covers its own span (count ≥ 1), this means every
+    /// pixel of the span has count exactly 1. O(span/64) via the
+    /// multi-coverage bitset.
+    ///
+    /// # Panics
+    /// Panics if the span lies outside the grid's region.
+    #[must_use]
+    pub fn span_singly_covered(&self, y: i64, x0: i64, x1: i64) -> bool {
+        assert!(y >= self.rect.y0 && y < self.rect.y1, "row outside grid");
+        assert!(
+            x0 >= self.rect.x0 && x1 < self.rect.x1 && x0 <= x1,
+            "span outside grid"
+        );
+        let (_, multi) = self.bit_rows(y);
+        span_bits_all_zero(
+            multi,
+            (x0 - self.rect.x0) as usize,
+            (x1 - self.rect.x0) as usize,
+        )
+    }
+
     /// Adds a circle's disk; returns the log-likelihood delta (sum of gains
     /// of pixels newly covered).
     pub fn add_circle(&mut self, circle: &Circle, gain: &Gain) -> f64 {
         let mut dlog = 0.0;
         let rect = self.rect;
-        for_each_disk_pixel(circle, &rect, |x, y| {
-            let i = self.index(x, y);
-            self.counts[i] += 1;
-            if self.counts[i] == 1 {
-                dlog += gain.get(x as u32, y as u32);
+        let w = rect.width() as usize;
+        let wpr = self.words_per_row;
+        let mut fast_hits = 0u64;
+        let mut skipped = 0u64;
+        for_each_disk_row(circle, &rect, |y, x0, x1| {
+            let row = (y - rect.y0) as usize;
+            let b0 = (x0 - rect.x0) as usize;
+            let b1 = (x1 - rect.x0) as usize;
+            let len = b1 - b0 + 1;
+            let counts = &mut self.counts[row * w..(row + 1) * w];
+            let occ = &mut self.occ[row * wpr..(row + 1) * wpr];
+            if span_bits_all_zero(occ, b0, b1) {
+                // Overlap-free span: every pixel crosses 0→1 together, so
+                // the gain sum is one prefix-table subtraction.
+                let pre = gain.row_prefix(y as u32);
+                dlog += pre[(x1 + 1) as usize] - pre[x0 as usize];
+                counts[b0..=b1].fill(1);
+                span_bits_set(occ, b0, b1);
+                self.covered += len;
+                fast_hits += 1;
+                skipped += len as u64;
+            } else {
+                let multi = &mut self.multi[row * wpr..(row + 1) * wpr];
+                let gain_row = gain.row(y as u32);
+                for (k, c) in counts[b0..=b1].iter_mut().enumerate() {
+                    *c += 1;
+                    match *c {
+                        1 => {
+                            dlog += gain_row[x0 as usize + k];
+                            self.covered += 1;
+                            bit_set(occ, b0 + k);
+                        }
+                        2 => bit_set(multi, b0 + k),
+                        _ => {}
+                    }
+                }
             }
         });
+        crate::perf::add_span_fastpath_hits(fast_hits);
+        crate::perf::add_pixels_skipped(skipped);
         dlog
     }
 
@@ -109,14 +307,49 @@ impl CoverageGrid {
     pub fn remove_circle(&mut self, circle: &Circle, gain: &Gain) -> f64 {
         let mut dlog = 0.0;
         let rect = self.rect;
-        for_each_disk_pixel(circle, &rect, |x, y| {
-            let i = self.index(x, y);
-            debug_assert!(self.counts[i] > 0, "removing uncovered pixel");
-            self.counts[i] -= 1;
-            if self.counts[i] == 0 {
-                dlog -= gain.get(x as u32, y as u32);
+        let w = rect.width() as usize;
+        let wpr = self.words_per_row;
+        let mut fast_hits = 0u64;
+        let mut skipped = 0u64;
+        for_each_disk_row(circle, &rect, |y, x0, x1| {
+            let row = (y - rect.y0) as usize;
+            let b0 = (x0 - rect.x0) as usize;
+            let b1 = (x1 - rect.x0) as usize;
+            let len = b1 - b0 + 1;
+            let counts = &mut self.counts[row * w..(row + 1) * w];
+            let occ = &mut self.occ[row * wpr..(row + 1) * wpr];
+            let multi = &mut self.multi[row * wpr..(row + 1) * wpr];
+            if span_bits_all_zero(multi, b0, b1) {
+                // Every pixel of the span belongs to this disk alone
+                // (count exactly 1), so the whole span crosses 1→0 and the
+                // gain sum is one prefix-table subtraction.
+                debug_assert!(counts[b0..=b1].iter().all(|&c| c == 1));
+                let pre = gain.row_prefix(y as u32);
+                dlog -= pre[(x1 + 1) as usize] - pre[x0 as usize];
+                counts[b0..=b1].fill(0);
+                span_bits_clear(occ, b0, b1);
+                self.covered -= len;
+                fast_hits += 1;
+                skipped += len as u64;
+            } else {
+                let gain_row = gain.row(y as u32);
+                for (k, c) in counts[b0..=b1].iter_mut().enumerate() {
+                    debug_assert!(*c > 0, "removing uncovered pixel");
+                    *c -= 1;
+                    match *c {
+                        0 => {
+                            dlog -= gain_row[x0 as usize + k];
+                            self.covered -= 1;
+                            bit_clear(occ, b0 + k);
+                        }
+                        1 => bit_clear(multi, b0 + k),
+                        _ => {}
+                    }
+                }
             }
         });
+        crate::perf::add_span_fastpath_hits(fast_hits);
+        crate::perf::add_pixels_skipped(skipped);
         dlog
     }
 
@@ -133,6 +366,33 @@ impl CoverageGrid {
         (grid, total)
     }
 
+    /// Recomputes the occupancy/multi bits and the covered contribution of
+    /// columns `b0..=b1` (local indices) of local row `row` from the
+    /// counts, returning the number of covered pixels in that range.
+    fn rebuild_row_bits(&mut self, row: usize, b0: usize, b1: usize) -> usize {
+        let w = self.rect.width() as usize;
+        let wpr = self.words_per_row;
+        let counts = &self.counts[row * w..(row + 1) * w];
+        let occ = &mut self.occ[row * wpr..(row + 1) * wpr];
+        let multi = &mut self.multi[row * wpr..(row + 1) * wpr];
+        let mut covered = 0usize;
+        for (k, &c) in counts[b0..=b1].iter().enumerate() {
+            let b = b0 + k;
+            if c >= 1 {
+                bit_set(occ, b);
+                covered += 1;
+            } else {
+                bit_clear(occ, b);
+            }
+            if c >= 2 {
+                bit_set(multi, b);
+            } else {
+                bit_clear(multi, b);
+            }
+        }
+        covered
+    }
+
     /// Copies out the sub-grid for `sub` (must be contained in this grid's
     /// region).
     ///
@@ -146,11 +406,16 @@ impl CoverageGrid {
             "crop region must lie inside the grid"
         );
         let mut out = CoverageGrid::new(sub);
+        let w = sub.width() as usize;
+        if w == 0 {
+            return out;
+        }
         for y in sub.y0..sub.y1 {
             let src = self.index(sub.x0, y);
             let dst = out.index(sub.x0, y);
-            let w = sub.width() as usize;
             out.counts[dst..dst + w].copy_from_slice(&self.counts[src..src + w]);
+            let row = (y - sub.y0) as usize;
+            out.covered += out.rebuild_row_bits(row, 0, w - 1);
         }
         out
     }
@@ -166,18 +431,58 @@ impl CoverageGrid {
             r,
             "paste region must lie inside the grid"
         );
+        let w = r.width() as usize;
+        if w == 0 {
+            return;
+        }
         for y in r.y0..r.y1 {
             let dst = self.index(r.x0, y);
             let src = sub.index(r.x0, y);
-            let w = r.width() as usize;
+            let was: usize = self.counts[dst..dst + w].iter().filter(|&&c| c > 0).count();
             self.counts[dst..dst + w].copy_from_slice(&sub.counts[src..src + w]);
+            let row = (y - self.rect.y0) as usize;
+            let b0 = (r.x0 - self.rect.x0) as usize;
+            let now = self.rebuild_row_bits(row, b0, b0 + w - 1);
+            self.covered = self.covered - was + now;
         }
     }
 
-    /// Number of covered pixels (count ≥ 1).
+    /// Number of covered pixels (count ≥ 1); maintained incrementally, so
+    /// this is O(1).
     #[must_use]
-    pub fn covered_pixels(&self) -> usize {
-        self.counts.iter().filter(|&&c| c > 0).count()
+    pub const fn covered_pixels(&self) -> usize {
+        self.covered
+    }
+
+    /// Asserts that the derived bitsets and covered counter agree with the
+    /// counts array. Test/debug aid — O(area).
+    ///
+    /// # Panics
+    /// Panics on any inconsistency.
+    pub fn assert_derived_state(&self) {
+        let w = self.rect.width() as usize;
+        let mut covered = 0usize;
+        for y in self.rect.y0..self.rect.y1 {
+            let (occ, multi) = self.bit_rows(y);
+            let counts = self.row(y);
+            for (k, &c) in counts.iter().enumerate() {
+                let occ_bit = occ[k / 64] >> (k % 64) & 1 == 1;
+                let multi_bit = multi[k / 64] >> (k % 64) & 1 == 1;
+                assert_eq!(occ_bit, c >= 1, "occ bit wrong at ({k},{y})");
+                assert_eq!(multi_bit, c >= 2, "multi bit wrong at ({k},{y})");
+                covered += usize::from(c >= 1);
+            }
+            // Tail bits past the row width must stay clear.
+            for b in w..occ.len() * 64 {
+                assert_eq!(occ[b / 64] >> (b % 64) & 1, 0, "stray occ tail bit row {y}");
+                assert_eq!(
+                    multi[b / 64] >> (b % 64) & 1,
+                    0,
+                    "stray multi tail bit row {y}"
+                );
+            }
+        }
+        assert_eq!(covered, self.covered, "covered counter drifted");
     }
 }
 
@@ -220,15 +525,39 @@ mod tests {
     }
 
     #[test]
+    fn disk_rows_are_contiguous_inclusive_spans() {
+        let rect = Rect::new(0, 0, 64, 64);
+        let c = Circle::new(30.3, 29.8, 9.7);
+        let mut rows = Vec::new();
+        for_each_disk_row(&c, &rect, |y, x0, x1| {
+            assert!(x0 <= x1, "empty spans must be skipped");
+            rows.push((y, x0, x1));
+        });
+        let mut via_pixels = std::collections::HashMap::<i64, (i64, i64)>::new();
+        for_each_disk_pixel(&c, &rect, |x, y| {
+            let e = via_pixels.entry(y).or_insert((x, x));
+            e.0 = e.0.min(x);
+            e.1 = e.1.max(x);
+        });
+        assert_eq!(rows.len(), via_pixels.len());
+        for (y, x0, x1) in rows {
+            assert_eq!(via_pixels[&y], (x0, x1), "row {y}");
+        }
+    }
+
+    #[test]
     fn add_then_remove_is_identity() {
         let (_, gain) = setup(32, 32);
         let mut grid = CoverageGrid::new(Rect::new(0, 0, 32, 32));
         let base = grid.clone();
         let c = Circle::new(16.0, 16.0, 6.0);
         let d1 = grid.add_circle(&c, &gain);
+        grid.assert_derived_state();
         let d2 = grid.remove_circle(&c, &gain);
+        grid.assert_derived_state();
         assert!((d1 + d2).abs() < 1e-12);
         assert_eq!(grid, base);
+        assert_eq!(grid.covered_pixels(), 0);
     }
 
     #[test]
@@ -239,6 +568,7 @@ mod tests {
         let b = Circle::new(18.0, 16.0, 6.0);
         let da = grid.add_circle(&a, &gain);
         let db = grid.add_circle(&b, &gain);
+        grid.assert_derived_state();
         // Total equals the union sum of gains.
         let mut union = std::collections::HashSet::new();
         for_each_disk_pixel(&a, &grid.rect(), |x, y| {
@@ -252,8 +582,10 @@ mod tests {
             .map(|&(x, y)| gain.get(x as u32, y as u32))
             .sum();
         assert!((da + db - expect).abs() < 1e-9);
+        assert_eq!(grid.covered_pixels(), union.len());
         // Removing one circle keeps the shared pixels covered.
         let dr = grid.remove_circle(&a, &gain);
+        grid.assert_derived_state();
         let only_b: f64 = {
             let mut s = std::collections::HashSet::new();
             for_each_disk_pixel(&b, &grid.rect(), |x, y| {
@@ -265,6 +597,22 @@ mod tests {
     }
 
     #[test]
+    fn span_queries_reflect_coverage() {
+        let (_, gain) = setup(32, 32);
+        let mut grid = CoverageGrid::new(Rect::new(0, 0, 32, 32));
+        assert!(grid.span_uncovered(16, 0, 31));
+        let a = Circle::new(14.0, 16.0, 6.0);
+        let b = Circle::new(18.0, 16.0, 6.0);
+        grid.add_circle(&a, &gain);
+        assert!(!grid.span_uncovered(16, 0, 31));
+        assert!(grid.span_singly_covered(16, 0, 31));
+        grid.add_circle(&b, &gain);
+        // a and b overlap around x = 16 on row 16.
+        assert!(!grid.span_singly_covered(16, 0, 31));
+        assert!(grid.span_uncovered(0, 0, 31), "far row untouched");
+    }
+
+    #[test]
     fn from_circles_total_matches_incremental() {
         let (_, gain) = setup(48, 48);
         let circles = vec![
@@ -273,6 +621,7 @@ mod tests {
             Circle::new(40.0, 40.0, 6.0),
         ];
         let (grid, total) = CoverageGrid::from_circles(Rect::new(0, 0, 48, 48), &circles, &gain);
+        grid.assert_derived_state();
         let mut grid2 = CoverageGrid::new(Rect::new(0, 0, 48, 48));
         let mut t2 = 0.0;
         for c in &circles {
@@ -289,10 +638,12 @@ mod tests {
         let (mut grid, _) = CoverageGrid::from_circles(Rect::new(0, 0, 40, 40), &circles, &gain);
         let sub_rect = Rect::new(5, 5, 25, 25);
         let mut sub = grid.crop(sub_rect);
+        sub.assert_derived_state();
         // Mutate within the sub-grid, paste back, and verify counts.
         let local = Circle::new(15.0, 15.0, 3.0);
         sub.add_circle(&local, &gain);
         grid.paste(&sub);
+        grid.assert_derived_state();
         for_each_disk_pixel(&local, &sub_rect, |x, y| {
             assert!(grid.count(x, y) >= 1);
         });
@@ -306,10 +657,12 @@ mod tests {
         let mut grid = CoverageGrid::new(Rect::new(0, 0, 20, 20));
         let c = Circle::new(0.0, 10.0, 5.0); // half outside
         let d = grid.add_circle(&c, &gain);
+        grid.assert_derived_state();
         assert!(d.is_finite());
         assert!(grid.covered_pixels() > 0);
         assert_eq!(grid.count(-1, 10), 0, "outside reads as zero");
         let d2 = grid.remove_circle(&c, &gain);
+        grid.assert_derived_state();
         assert!((d + d2).abs() < 1e-12);
         assert_eq!(grid.covered_pixels(), 0);
     }
@@ -321,8 +674,29 @@ mod tests {
         let mut grid = CoverageGrid::new(tile);
         let c = Circle::new(20.0, 20.0, 4.0);
         grid.add_circle(&c, &gain);
+        grid.assert_derived_state();
         assert!(grid.count(20, 20) == 1);
         assert_eq!(grid.count(5, 5), 0);
+    }
+
+    #[test]
+    fn wide_rows_cross_word_boundaries() {
+        // 200-wide rows need 4 bitset words; exercise spans crossing them.
+        let (_, gain) = setup(200, 8);
+        let mut grid = CoverageGrid::new(Rect::new(0, 0, 200, 8));
+        let big = Circle::new(100.0, 4.0, 90.0);
+        let d = grid.add_circle(&big, &gain);
+        grid.assert_derived_state();
+        let small = Circle::new(64.0, 4.0, 3.0); // straddles word 0/1 boundary
+        grid.add_circle(&small, &gain);
+        grid.assert_derived_state();
+        assert!(!grid.span_singly_covered(4, 60, 68));
+        grid.remove_circle(&small, &gain);
+        grid.assert_derived_state();
+        let d2 = grid.remove_circle(&big, &gain);
+        grid.assert_derived_state();
+        assert!((d + d2).abs() < 1e-9);
+        assert_eq!(grid.covered_pixels(), 0);
     }
 
     #[test]

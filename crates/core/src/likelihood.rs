@@ -25,6 +25,10 @@ pub struct Gain {
     width: u32,
     height: u32,
     data: Vec<f64>,
+    /// Per-row prefix sums of `data`: `(width + 1)` entries per row, with
+    /// `prefix[y * (w + 1) + x] = Σ data[y, 0..x]`, so the gain of any
+    /// contiguous span `[x0, x1]` is one subtraction.
+    prefix: Vec<f64>,
     /// Log-likelihood of the empty configuration (all pixels background),
     /// up to the Gaussian normalisation constant.
     log_lik_empty: f64,
@@ -49,10 +53,22 @@ impl Gain {
             data.push((db * db - df * df) / two_var);
             empty -= db * db / two_var;
         }
+        let w = img.width() as usize;
+        let h = img.height() as usize;
+        let mut prefix = Vec::with_capacity(h * (w + 1));
+        for y in 0..h {
+            let mut acc = 0.0f64;
+            prefix.push(0.0);
+            for &g in &data[y * w..(y + 1) * w] {
+                acc += g;
+                prefix.push(acc);
+            }
+        }
         Self {
             width: img.width(),
             height: img.height(),
             data,
+            prefix,
             log_lik_empty: empty,
         }
     }
@@ -87,6 +103,20 @@ impl Gain {
         let w = self.width as usize;
         let start = (y as usize) * w;
         &self.data[start..start + w]
+    }
+
+    /// Prefix sums of row `y`'s gains: `(width + 1)` entries, where entry
+    /// `x` is the sum of gains at `0..x`. The total gain of the inclusive
+    /// pixel span `[x0, x1]` is `row_prefix(y)[x1 + 1] - row_prefix(y)[x0]`.
+    ///
+    /// # Panics
+    /// Panics if `y` is outside the image.
+    #[must_use]
+    pub fn row_prefix(&self, y: u32) -> &[f64] {
+        assert!(y < self.height, "row outside image");
+        let w = self.width as usize + 1;
+        let start = (y as usize) * w;
+        &self.prefix[start..start + w]
     }
 
     /// Log-likelihood of the empty configuration (up to the Gaussian
@@ -146,6 +176,33 @@ mod tests {
         let p = params(4, 4);
         let img = GrayImage::zeros(3, 4);
         let _ = Gain::from_image(&img, &p);
+    }
+
+    #[test]
+    fn row_prefix_matches_scalar_sums() {
+        let p = params(5, 3);
+        let img = GrayImage::from_vec(
+            5,
+            3,
+            vec![
+                0.9, 0.1, 0.5, 0.0, 0.7, 0.3, 0.8, 0.2, 0.6, 0.4, 0.05, 0.95, 0.45, 0.55, 0.15,
+            ],
+        );
+        let g = Gain::from_image(&img, &p);
+        for y in 0..3u32 {
+            let pre = g.row_prefix(y);
+            assert_eq!(pre.len(), 6);
+            assert_eq!(pre[0], 0.0);
+            for x0 in 0..5usize {
+                for x1 in x0..5usize {
+                    let scalar: f64 = (x0..=x1).map(|x| g.get(x as u32, y)).sum();
+                    assert!(
+                        (pre[x1 + 1] - pre[x0] - scalar).abs() < 1e-12,
+                        "span [{x0},{x1}] row {y} disagrees"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

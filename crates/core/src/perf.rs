@@ -22,6 +22,8 @@ static PAIR_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static RNG_REFILLS: AtomicU64 = AtomicU64::new(0);
 static SPIN_WAIT_NS: AtomicU64 = AtomicU64::new(0);
 static SPEC_ROUNDS: AtomicU64 = AtomicU64::new(0);
+static SPAN_FASTPATH_HITS: AtomicU64 = AtomicU64::new(0);
+static PIXELS_SKIPPED: AtomicU64 = AtomicU64::new(0);
 
 /// Records one read-only proposal evaluation.
 #[inline]
@@ -62,6 +64,20 @@ pub fn record_spec_round() {
     SPEC_ROUNDS.fetch_add(1, Relaxed);
 }
 
+/// Records `n` row spans resolved through the O(1) prefix-sum fast path
+/// instead of a scalar pixel walk.
+#[inline]
+pub fn add_span_fastpath_hits(n: u64) {
+    SPAN_FASTPATH_HITS.fetch_add(n, Relaxed);
+}
+
+/// Records `n` pixels whose per-pixel walk was skipped because a span
+/// fast path answered for the whole run at once.
+#[inline]
+pub fn add_pixels_skipped(n: u64) {
+    PIXELS_SKIPPED.fetch_add(n, Relaxed);
+}
+
 /// A point-in-time copy of every counter. Subtract two snapshots (taken
 /// around a run) with [`PerfSnapshot::since`] to attribute work to the run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -80,6 +96,10 @@ pub struct PerfSnapshot {
     pub spin_wait_ns: u64,
     /// Speculative rounds executed.
     pub spec_rounds: u64,
+    /// Row spans resolved through the prefix-sum/bitset fast path.
+    pub span_fastpath_hits: u64,
+    /// Pixels whose scalar walk the span fast path made unnecessary.
+    pub pixels_skipped: u64,
 }
 
 impl PerfSnapshot {
@@ -99,6 +119,10 @@ impl PerfSnapshot {
             rng_refills: self.rng_refills.saturating_sub(start.rng_refills),
             spin_wait_ns: self.spin_wait_ns.saturating_sub(start.spin_wait_ns),
             spec_rounds: self.spec_rounds.saturating_sub(start.spec_rounds),
+            span_fastpath_hits: self
+                .span_fastpath_hits
+                .saturating_sub(start.span_fastpath_hits),
+            pixels_skipped: self.pixels_skipped.saturating_sub(start.pixels_skipped),
         }
     }
 }
@@ -114,6 +138,8 @@ pub fn snapshot() -> PerfSnapshot {
         rng_refills: RNG_REFILLS.load(Relaxed),
         spin_wait_ns: SPIN_WAIT_NS.load(Relaxed),
         spec_rounds: SPEC_ROUNDS.load(Relaxed),
+        span_fastpath_hits: SPAN_FASTPATH_HITS.load(Relaxed),
+        pixels_skipped: PIXELS_SKIPPED.load(Relaxed),
     }
 }
 
@@ -131,6 +157,8 @@ mod tests {
         record_rng_refill();
         add_spin_wait_ns(1000);
         record_spec_round();
+        add_span_fastpath_hits(3);
+        add_pixels_skipped(17);
         let d = snapshot().since(&s0);
         // Other test threads may add on top; assert lower bounds only.
         assert!(d.proposals_evaluated >= 1);
@@ -140,6 +168,8 @@ mod tests {
         assert!(d.rng_refills >= 1);
         assert!(d.spin_wait_ns >= 1000);
         assert!(d.spec_rounds >= 1);
+        assert!(d.span_fastpath_hits >= 3);
+        assert!(d.pixels_skipped >= 17);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::job::{RunCtx, RunError};
 use crate::subchain::{run_partition_chain_ctx, SubChainOptions, SubChainResult};
 use pmcmc_core::rng::derive_seed;
+use pmcmc_core::spatial::SpatialGrid;
 use pmcmc_core::ModelParams;
 use pmcmc_imaging::{regular_tiles, Circle, GrayImage, Rect};
 use pmcmc_runtime::WorkerPool;
@@ -262,23 +263,62 @@ pub struct MergeOutcome {
 /// centerpoint and radii that are the average" of its members. Unpaired
 /// overlap detections are disputable — kept when `keep_disputed`, dropped
 /// otherwise — and detections outside any overlap pass through untouched.
+///
+/// Candidate pairs are found through a [`SpatialGrid`] bucketed by `eps`,
+/// so the scan is O(n · neighbours) instead of the all-pairs O(n²) of
+/// [`cluster_duplicates_naive`] (retained as the reference
+/// implementation; a proptest pins exact agreement between the two).
 #[must_use]
 pub fn cluster_duplicates(
     candidates: &[MergeCandidate],
     eps: f64,
     keep_disputed: bool,
 ) -> MergeOutcome {
-    // Union-find over overlap-band detections within eps from different
-    // sources.
-    let n = candidates.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let root = find(parent, parent[i]);
-            parent[i] = root;
-        }
-        parent[i]
+    let mut uf = UnionFind::new(candidates.len());
+    // Bucket overlap-band candidates by eps; the grid clamps out-of-range
+    // centres, so any global coordinates are safe and `for_neighbors`
+    // stays a conservative superset of the true ≤ eps pairs.
+    let (mut max_x, mut max_y) = (1.0f64, 1.0f64);
+    for c in candidates {
+        max_x = max_x.max(c.circle.x);
+        max_y = max_y.max(c.circle.y);
     }
+    let clamp_dim = |v: f64| (v.ceil() + 1.0).min(f64::from(u32::MAX)) as u32;
+    let mut grid = SpatialGrid::new(clamp_dim(max_x), clamp_dim(max_y), eps.max(1.0));
+    for (i, c) in candidates.iter().enumerate() {
+        if c.in_overlap {
+            grid.insert(i, &c.circle);
+        }
+    }
+    for (i, ci) in candidates.iter().enumerate() {
+        if !ci.in_overlap {
+            continue;
+        }
+        grid.for_neighbors(ci.circle.x, ci.circle.y, eps, |j| {
+            // Each unordered pair once; the grid only holds overlap-band
+            // candidates, so only the exact filters remain.
+            if j > i
+                && candidates[j].source != ci.source
+                && ci.circle.centre_distance(&candidates[j].circle) <= eps
+            {
+                uf.union(i, j);
+            }
+        });
+    }
+    finalize_clusters(candidates, &mut uf, keep_disputed)
+}
+
+/// Reference all-pairs implementation of [`cluster_duplicates`]. Kept for
+/// property tests (exact agreement with the spatial-hash version) and as
+/// executable documentation of the merge semantics.
+#[must_use]
+pub fn cluster_duplicates_naive(
+    candidates: &[MergeCandidate],
+    eps: f64,
+    keep_disputed: bool,
+) -> MergeOutcome {
+    let n = candidates.len();
+    let mut uf = UnionFind::new(n);
     for i in 0..n {
         if !candidates[i].in_overlap {
             continue;
@@ -288,28 +328,69 @@ pub fn cluster_duplicates(
                 continue;
             }
             if candidates[i].circle.centre_distance(&candidates[j].circle) <= eps {
-                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                if ri != rj {
-                    parent[ri] = rj;
-                }
+                uf.union(i, j);
             }
         }
     }
+    finalize_clusters(candidates, &mut uf, keep_disputed)
+}
 
+/// Union-find over candidate indices (path compression, union by root
+/// value only — the cluster *sets* are what matters; the finalizer
+/// canonicalises away any dependence on union order).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, i: usize, j: usize) {
+        let (ri, rj) = (self.find(i), self.find(j));
+        if ri != rj {
+            self.parent[ri] = rj;
+        }
+    }
+}
+
+/// Shared finalizer: groups candidates by cluster, orders clusters by
+/// their smallest member index and averages members in ascending index
+/// order, so the output (including every f64 summation order) is
+/// identical no matter how the ≤ eps pairs were discovered or in which
+/// order they were unioned.
+fn finalize_clusters(
+    candidates: &[MergeCandidate],
+    uf: &mut UnionFind,
+    keep_disputed: bool,
+) -> MergeOutcome {
     let mut clusters: std::collections::HashMap<usize, Vec<usize>> =
         std::collections::HashMap::new();
-    for i in 0..n {
-        let root = find(&mut parent, i);
+    for i in 0..candidates.len() {
+        let root = uf.find(i);
+        // Members arrive in ascending index order.
         clusters.entry(root).or_default().push(i);
     }
+    let mut groups: Vec<Vec<usize>> = clusters.into_values().collect();
+    // Canonical order: by smallest member index, which is independent of
+    // which member ended up as the union-find root.
+    groups.sort_unstable_by_key(|members| members[0]);
 
     let mut merged = Vec::new();
     let mut merged_pairs = 0usize;
     let mut disputed = 0usize;
-    let mut roots: Vec<usize> = clusters.keys().copied().collect();
-    roots.sort_unstable(); // deterministic output order
-    for root in roots {
-        let members = &clusters[&root];
+    for members in &groups {
         if members.len() > 1 {
             let k = members.len() as f64;
             let (sx, sy, sr) = members.iter().fold((0.0, 0.0, 0.0), |acc, &i| {
@@ -458,5 +539,74 @@ mod tests {
         // policies differ exactly by whether those are kept.
         assert_eq!(acc.disputed, dis.disputed);
         assert_eq!(acc.merged.len(), dis.merged.len() + dis.disputed);
+    }
+
+    fn assert_outcomes_bit_identical(a: &MergeOutcome, b: &MergeOutcome) {
+        assert_eq!(a.merged_pairs, b.merged_pairs, "merged_pairs differ");
+        assert_eq!(a.disputed, b.disputed, "disputed differ");
+        assert_eq!(a.merged.len(), b.merged.len(), "merged set size differs");
+        for (i, (ca, cb)) in a.merged.iter().zip(&b.merged).enumerate() {
+            assert_eq!(ca.x.to_bits(), cb.x.to_bits(), "x differs at {i}");
+            assert_eq!(ca.y.to_bits(), cb.y.to_bits(), "y differs at {i}");
+            assert_eq!(ca.r.to_bits(), cb.r.to_bits(), "r differs at {i}");
+        }
+    }
+
+    #[test]
+    fn spatial_and_naive_merge_agree_on_corner_cluster() {
+        // Four near-coincident detections on a 4-way corner from four
+        // different sources, plus a lone disputed one and pass-throughs.
+        let mk = |source, x: f64, y: f64, in_overlap| MergeCandidate {
+            source,
+            circle: Circle::new(x, y, 8.0),
+            in_overlap,
+        };
+        let candidates = vec![
+            mk(0, 128.0, 128.0, true),
+            mk(1, 129.2, 127.6, true),
+            mk(2, 127.1, 128.9, true),
+            mk(3, 128.4, 129.3, true),
+            mk(0, 40.0, 40.0, false),
+            mk(2, 200.0, 50.0, true), // unpaired → disputed
+            mk(3, 60.0, 190.0, false),
+        ];
+        for keep in [false, true] {
+            let fast = cluster_duplicates(&candidates, 5.0, keep);
+            let naive = cluster_duplicates_naive(&candidates, 5.0, keep);
+            assert_outcomes_bit_identical(&fast, &naive);
+            assert_eq!(fast.merged_pairs, 3, "4-way corner collapses to one");
+            assert_eq!(fast.disputed, 1);
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+
+        /// The spatial-hash pair scan and the all-pairs reference produce
+        /// bit-identical merge outcomes (same clusters, same averaging
+        /// order) over arbitrary candidate soups — including coincident
+        /// centres, out-of-image coordinates and same-source near-pairs.
+        #[test]
+        fn spatial_hash_merge_matches_naive(
+            eps in 0.5f64..12.0,
+            keep in proptest::prelude::any::<bool>(),
+            raw in proptest::collection::vec(
+                (0usize..4, -20.0f64..532.0, -20.0f64..532.0, 1.0f64..15.0,
+                 proptest::prelude::any::<bool>()),
+                0..60,
+            ),
+        ) {
+            let candidates: Vec<MergeCandidate> = raw
+                .into_iter()
+                .map(|(source, x, y, r, in_overlap)| MergeCandidate {
+                    source,
+                    circle: Circle::new(x, y, r),
+                    in_overlap,
+                })
+                .collect();
+            let fast = cluster_duplicates(&candidates, eps, keep);
+            let naive = cluster_duplicates_naive(&candidates, eps, keep);
+            assert_outcomes_bit_identical(&fast, &naive);
+        }
     }
 }

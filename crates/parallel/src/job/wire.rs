@@ -682,12 +682,14 @@ mod tests {
         );
     }
 
-    /// Version-1 golden bytes: the encodings below are pinned byte for
-    /// byte. If this test fails, the wire format changed — bump
+    /// Golden bytes: the encodings below are pinned byte for byte. If
+    /// this test fails, the wire format changed — bump
     /// [`pmcmc_runtime::wire::WIRE_VERSION`] and add a new golden vector
-    /// instead of editing these.
+    /// instead of editing these. (v2 widened `PerfSnapshot` with the
+    /// span-kernel counters; the payload encodings here are unchanged
+    /// since v1.)
     #[test]
-    fn golden_bytes_v1() {
+    fn golden_bytes_v2() {
         // A sequential spec is a single tag byte.
         assert_eq!(StrategySpec::Sequential.to_wire_bytes(), vec![0]);
 
@@ -713,14 +715,14 @@ mod tests {
         };
         assert_eq!(cancelled.to_wire_bytes(), vec![2, 7, 0, 0, 0, 0, 0, 0, 0]);
 
-        // A whole v1 frame around that error payload: magic "PM",
-        // version 1, kind Result=4, little-endian length, payload.
+        // A whole v2 frame around that error payload: magic "PM",
+        // version 2, kind Result=4, little-endian length, payload.
         let mut frame = Vec::new();
         write_frame(&mut frame, FrameKind::Result, &cancelled.to_wire_bytes()).unwrap();
         assert_eq!(
             frame,
             vec![
-                b'P', b'M', 1, 4, 9, 0, 0, 0, // header
+                b'P', b'M', 2, 4, 9, 0, 0, 0, // header
                 2, 7, 0, 0, 0, 0, 0, 0, 0, // payload
             ]
         );

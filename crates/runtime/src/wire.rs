@@ -32,7 +32,10 @@ use std::io::{Read, Write};
 use std::time::Duration;
 
 /// The current wire-format version, stamped into every frame header.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2 extended [`PerfSnapshot`] with the span-kernel counters
+/// (`span_fastpath_hits`, `pixels_skipped`).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"PM";
@@ -525,6 +528,8 @@ impl Wire for PerfSnapshot {
         w.u64(self.rng_refills);
         w.u64(self.spin_wait_ns);
         w.u64(self.spec_rounds);
+        w.u64(self.span_fastpath_hits);
+        w.u64(self.pixels_skipped);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -536,6 +541,8 @@ impl Wire for PerfSnapshot {
             rng_refills: r.u64()?,
             spin_wait_ns: r.u64()?,
             spec_rounds: r.u64()?,
+            span_fastpath_hits: r.u64()?,
+            pixels_skipped: r.u64()?,
         })
     }
 }
@@ -754,6 +761,8 @@ mod tests {
             rng_refills: 5,
             spin_wait_ns: 6,
             spec_rounds: 7,
+            span_fastpath_hits: 8,
+            pixels_skipped: 9,
         };
         assert_eq!(
             PerfSnapshot::from_wire_bytes(&perf.to_wire_bytes()).unwrap(),

@@ -183,7 +183,17 @@ fn same_seed_job_specs_produce_byte_identical_reports() {
     let (_, truth, img) = model();
     let params = ModelParams::new(160, 160, truth.len() as f64, 8.0);
     let engine = Engine::new(3).expect("worker count is positive");
-    for strategy in ["periodic", "speculative", "mc3", "blind"] {
+    // Every registered strategy: the span-kernel fast paths must not
+    // perturb a single bit of any scheme's report.
+    for strategy in [
+        "sequential",
+        "periodic",
+        "speculative",
+        "mc3",
+        "intelligent",
+        "blind",
+        "naive",
+    ] {
         let run = || {
             let spec: StrategySpec = strategy.parse().expect("registered name");
             let report = engine

@@ -26,6 +26,29 @@ fn arb_circle(w: u32, h: u32) -> impl Strategy<Value = Circle> {
         .prop_map(|(x, y, r)| Circle::new(x, y, r))
 }
 
+/// Circles designed to stress the span kernel: centres may sit outside the
+/// image (border-clipped disks), radii range from sub-pixel (empty or
+/// single-pixel spans) to larger than half the image (spans crossing many
+/// bitset words and clipping on both sides).
+fn arb_kernel_circle(w: u32, h: u32) -> impl Strategy<Value = Circle> {
+    (
+        -12.0..f64::from(w) + 12.0,
+        -12.0..f64::from(h) + 12.0,
+        0.0f64..3.0,
+    )
+        .prop_map(|(x, y, t)| {
+            // Piecewise radius: sub-pixel, typical, or image-scale.
+            let r = if t < 1.0 {
+                0.2 + t * 1.3
+            } else if t < 2.0 {
+                1.5 + (t - 1.0) * 14.5
+            } else {
+                40.0 + (t - 2.0) * 30.0
+            };
+            Circle::new(x, y, r)
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -199,6 +222,77 @@ proptest! {
                 prop_assert!(!a.intersects(b));
             }
         }
+    }
+
+    /// The span kernel's prefix/bitset fast paths agree with a
+    /// from-first-principles per-pixel scalar evaluation of the same edit
+    /// (≤ 1e-9), over circle sets that include border-clipped, sub-pixel
+    /// and large-radius disks.
+    #[test]
+    fn span_fastpath_matches_scalar_walk(
+        circles in prop::collection::vec(arb_kernel_circle(96, 96), 0..10),
+        removes in prop::collection::vec(0usize..10, 0..3),
+        adds in prop::collection::vec(arb_kernel_circle(96, 96), 0..3),
+    ) {
+        let model = small_model(96, 96);
+        let cfg = Configuration::from_circles(&model, &circles);
+        let mut remove: Vec<usize> = removes
+            .iter()
+            .filter(|_| !circles.is_empty())
+            .map(|&i| i % circles.len())
+            .collect();
+        remove.sort_unstable();
+        remove.dedup();
+        let edit = Edit { remove, add: adds };
+        let fast = cfg.delta_log_lik_readonly(&edit, &model);
+        // Scalar reference: per-pixel pre/post coverage over the image.
+        let removed: Vec<Circle> = edit.remove.iter().map(|&i| circles[i]).collect();
+        let mut scalar = 0.0f64;
+        for y in 0..96i64 {
+            for x in 0..96i64 {
+                let count = i64::from(cfg.coverage().count(x, y));
+                let minus = removed.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
+                let plus = edit.add.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
+                let pre = count > 0;
+                let post = count - minus + plus > 0;
+                if pre != post {
+                    let g = model.gain.get(x as u32, y as u32);
+                    scalar += if post { g } else { -g };
+                }
+            }
+        }
+        prop_assert!(
+            (fast - scalar).abs() < 1e-9,
+            "span kernel {} vs scalar {} (edit {:?})",
+            fast,
+            scalar,
+            edit
+        );
+    }
+
+    /// Adding a disk and removing it again is an exact identity on the
+    /// bitset coverage grid: counts, bitsets, covered counter and the
+    /// summed log-likelihood deltas all return to the starting state.
+    #[test]
+    fn coverage_add_then_remove_identity(
+        base in prop::collection::vec(arb_kernel_circle(96, 96), 0..8),
+        extra in arb_kernel_circle(96, 96),
+    ) {
+        let model = small_model(96, 96);
+        let frame = Rect::new(0, 0, 96, 96);
+        let (mut grid, _) = pmcmc::core::coverage::CoverageGrid::from_circles(
+            frame, &base, &model.gain,
+        );
+        grid.assert_derived_state();
+        let before = grid.clone();
+        let covered_before = grid.covered_pixels();
+        let d_add = grid.add_circle(&extra, &model.gain);
+        grid.assert_derived_state();
+        let d_rem = grid.remove_circle(&extra, &model.gain);
+        grid.assert_derived_state();
+        prop_assert!((d_add + d_rem).abs() < 1e-9);
+        prop_assert_eq!(grid.covered_pixels(), covered_before);
+        prop_assert_eq!(&grid, &before);
     }
 
     /// Speculative theory functions: fraction in (0, 1], consistent with
