@@ -156,6 +156,25 @@ fn bench_coverage_kernel(c: &mut Criterion) {
             b.iter(|| black_box(config.delta_log_lik_readonly(&moved, &model)));
         });
     }
+    // Raw lane kernels on one 64-count bitset-word window, through the
+    // runtime dispatcher (scalar or AVX2, whatever serves the process).
+    let mut counts: Vec<u16> = (0..64u16).map(|k| k % 3).collect();
+    let gains: Vec<f64> = (0..64).map(|k| f64::from(k) * 0.01 - 0.3).collect();
+    group.bench_function("simd_inc_dec_counts", |b| {
+        b.iter(|| {
+            black_box(pmcmc_core::simd::inc_counts(black_box(&mut counts)));
+            black_box(pmcmc_core::simd::dec_counts(black_box(&mut counts)));
+        });
+    });
+    group.bench_function("simd_sum_gain_flips", |b| {
+        b.iter(|| {
+            black_box(pmcmc_core::simd::sum_gain_flips(
+                black_box(&counts),
+                black_box(&gains),
+                -2,
+            ));
+        });
+    });
     group.finish();
 }
 

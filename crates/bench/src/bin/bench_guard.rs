@@ -150,10 +150,25 @@ fn parse_kernel_rows(json: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Relative band for the kernel ns/op rows, wider than the strategy
+/// band: a strategy's fraction-of-sequential is a ratio of two runtimes
+/// from the same run, so frequency scaling cancels out of it, but a raw
+/// wall-ns row eats the host's DVFS swing directly (same-binary readings
+/// vary ~1.45× across thermal windows on a 1-core runner). 1.5× still
+/// catches a real 2× regression without flagging the thermal envelope.
+const KERNEL_MAX_REGRESSION: f64 = 1.5;
+
+/// Absolute slack added on top of the relative band for kernel rows.
+/// The raw lane-kernel rows sit in the tens of nanoseconds, where timer
+/// granularity and DVFS ramping alone swing readings by ±15–25 ns; a
+/// purely relative band would flag those swings as regressions while
+/// being invisible noise on the µs-scale rows.
+const KERNEL_ABS_SLACK_NS: f64 = 25.0;
+
 /// Compares freshly measured kernel ns/op against the baseline rows.
 /// A baseline with no kernel rows at all (written before the span-kernel
 /// work) is tolerated with a note; a matched row regressed past
-/// `MAX_REGRESSION` fails.
+/// `KERNEL_MAX_REGRESSION` (plus the nanoscale absolute slack) fails.
 fn check_kernel_rows(
     baseline: &[(String, f64)],
     measured: &[(String, f64)],
@@ -168,7 +183,7 @@ fn check_kernel_rows(
     for (op, ns) in measured {
         match baseline.iter().find(|(name, _)| name == op) {
             Some((_, base)) if *base > 0.0 => {
-                let limit = base * MAX_REGRESSION;
+                let limit = (base * KERNEL_MAX_REGRESSION).max(base + KERNEL_ABS_SLACK_NS);
                 out.push((
                     *ns <= limit,
                     format!("kernel {op}: {ns:.1} ns/op vs baseline {base:.1} (limit {limit:.1})"),
@@ -378,8 +393,8 @@ mod tests {
             ("delta_spans_birth".to_owned(), 1400.0),
         ];
         assert!(check_kernel_rows(&baseline, &ok).iter().all(|(ok, _)| *ok));
-        // >25% over baseline fails.
-        let slow = vec![("grid_add_remove_sparse".to_owned(), 1100.0)];
+        // >50% over baseline fails.
+        let slow = vec![("grid_add_remove_sparse".to_owned(), 1300.0)];
         assert!(check_kernel_rows(&baseline, &slow)
             .iter()
             .any(|(ok, _)| !ok));
@@ -388,6 +403,19 @@ mod tests {
         assert!(check_kernel_rows(&baseline, &new_op)
             .iter()
             .all(|(ok, _)| *ok));
+    }
+
+    #[test]
+    fn nanoscale_kernel_rows_get_absolute_slack() {
+        // A 30 ns baseline: the relative band alone (37.5 ns) is inside
+        // timer/DVFS jitter, so the absolute slack widens it to 55 ns.
+        let baseline = vec![("simd_sum_gain_flips".to_owned(), 30.0)];
+        let jitter = vec![("simd_sum_gain_flips".to_owned(), 50.0)];
+        assert!(check_kernel_rows(&baseline, &jitter)
+            .iter()
+            .all(|(ok, _)| *ok));
+        let real = vec![("simd_sum_gain_flips".to_owned(), 60.0)];
+        assert!(check_kernel_rows(&baseline, &real).iter().any(|(ok, _)| !ok));
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Prints the coverage-kernel micro rows without running the full
+//! strategy matrix — handy for interleaved A/B runs against another
+//! build (e.g. a baseline worktree, or `PMCMC_FORCE_SCALAR=1` on this
+//! one) when a wall-clock comparison needs both binaries sampled
+//! back-to-back on a noisy machine.
+
+fn main() {
+    for r in pmcmc_bench::kernel_micro_rows() {
+        println!("{:28} {:8.1} ns/op", r.op, r.ns_per_op);
+    }
+}

@@ -216,7 +216,8 @@ pub fn perf_json(p: &pmcmc_core::PerfSnapshot) -> String {
         "{{\"proposals_evaluated\": {}, \"pixels_visited\": {}, \
          \"pair_count_queries\": {}, \"pair_cache_hits\": {}, \
          \"rng_refills\": {}, \"spin_wait_ns\": {}, \"spec_rounds\": {}, \
-         \"span_fastpath_hits\": {}, \"pixels_skipped\": {}}}",
+         \"span_fastpath_hits\": {}, \"pixels_skipped\": {}, \
+         \"simd_lanes_processed\": {}, \"proposal_batches\": {}}}",
         p.proposals_evaluated,
         p.pixels_visited,
         p.pair_count_queries,
@@ -226,6 +227,8 @@ pub fn perf_json(p: &pmcmc_core::PerfSnapshot) -> String {
         p.spec_rounds,
         p.span_fastpath_hits,
         p.pixels_skipped,
+        p.simd_lanes_processed,
+        p.proposal_batches,
     )
 }
 
@@ -270,11 +273,13 @@ fn time_ns_per_op(batch: u32, mut f: impl FnMut()) -> f64 {
 }
 
 /// Times the span-kernel hot operations on a fixed 256² scene: the
-/// occupancy-bitset fast path (`grid_add_remove_sparse`), the scalar
-/// fallback under heavy overlap (`grid_add_remove_dense`), and the
-/// merged-run delta evaluator for a birth (prefix-sum path) and a move
-/// (span-merge scalar path). Row keys are stable so `bench_guard` can
-/// diff them against the committed baseline.
+/// occupancy-bitset fast path (`grid_add_remove_sparse`), the lane-kernel
+/// path under heavy overlap (`grid_add_remove_dense`), the merged-run
+/// delta evaluator for a birth (prefix-sum path) and a move (segment-sweep
+/// lane path), plus the raw SIMD kernels on one 64-lane window
+/// (`simd_inc_dec_counts`, `simd_sum_gain_flips`). Row keys are stable so
+/// `bench_guard` can diff them against the committed baseline (rows absent
+/// from an older baseline are reported but never fail the guard).
 #[must_use]
 pub fn kernel_micro_rows() -> Vec<KernelRow> {
     use pmcmc_core::coverage::CoverageGrid;
@@ -354,6 +359,29 @@ pub fn kernel_micro_rows() -> Vec<KernelRow> {
             black_box(cfg.delta_log_lik_readonly(&moved, &model));
         }),
     });
+
+    // Raw lane kernels on one bitset-word window (the unit every row
+    // update decomposes into), timed through the runtime dispatcher so
+    // the row reflects whatever backend serves the process.
+    let mut counts: Vec<u16> = (0..64u16).map(|k| k % 3).collect();
+    let gains: Vec<f64> = (0..64).map(|k| f64::from(k) * 0.01 - 0.3).collect();
+    rows.push(KernelRow {
+        op: "simd_inc_dec_counts",
+        ns_per_op: time_ns_per_op(4096, || {
+            black_box(pmcmc_core::simd::inc_counts(black_box(&mut counts)));
+            black_box(pmcmc_core::simd::dec_counts(black_box(&mut counts)));
+        }),
+    });
+    rows.push(KernelRow {
+        op: "simd_sum_gain_flips",
+        ns_per_op: time_ns_per_op(4096, || {
+            black_box(pmcmc_core::simd::sum_gain_flips(
+                black_box(&counts),
+                black_box(&gains),
+                -2,
+            ));
+        }),
+    });
     rows
 }
 
@@ -415,6 +443,8 @@ mod tests {
             spec_rounds: 7,
             span_fastpath_hits: 8,
             pixels_skipped: 9,
+            simd_lanes_processed: 10,
+            proposal_batches: 11,
         };
         let json = perf_json(&p);
         for field in [
@@ -427,6 +457,8 @@ mod tests {
             "\"spec_rounds\": 7",
             "\"span_fastpath_hits\": 8",
             "\"pixels_skipped\": 9",
+            "\"simd_lanes_processed\": 10",
+            "\"proposal_batches\": 11",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

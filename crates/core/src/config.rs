@@ -60,6 +60,50 @@ impl Edit {
     pub fn dimension_delta(&self) -> i64 {
         self.add.len() as i64 - self.remove.len() as i64
     }
+
+    /// Clears both lists, keeping their heap buffers. The in-place setters
+    /// below exist for the samplers' scratch proposals: a reused `Edit`
+    /// never reallocates, so the per-iteration proposal path is
+    /// allocation-free in steady state.
+    pub fn clear(&mut self) {
+        self.remove.clear();
+        self.add.clear();
+    }
+
+    /// In-place form of [`Edit::add_one`].
+    pub fn set_add_one(&mut self, c: Circle) {
+        self.clear();
+        self.add.push(c);
+    }
+
+    /// In-place form of [`Edit::remove_one`].
+    pub fn set_remove_one(&mut self, i: usize) {
+        self.clear();
+        self.remove.push(i);
+    }
+
+    /// In-place form of [`Edit::replace_one`].
+    pub fn set_replace_one(&mut self, i: usize, c: Circle) {
+        self.clear();
+        self.remove.push(i);
+        self.add.push(c);
+    }
+
+    /// In-place split edit: replace circle `i` with children `c1`, `c2`.
+    pub fn set_split(&mut self, i: usize, c1: Circle, c2: Circle) {
+        self.clear();
+        self.remove.push(i);
+        self.add.push(c1);
+        self.add.push(c2);
+    }
+
+    /// In-place merge edit: replace circles `i`, `j` with `merged`.
+    pub fn set_merge(&mut self, i: usize, j: usize, merged: Circle) {
+        self.clear();
+        self.remove.push(i);
+        self.remove.push(j);
+        self.add.push(merged);
+    }
 }
 
 /// The cache deltas and undo information produced by applying an [`Edit`].
@@ -450,11 +494,10 @@ impl Configuration {
                         *fast_hits += 1;
                         *skipped += len;
                     } else {
-                        for x in lo..=hi {
-                            if cov_row[(x - frame.x0) as usize] == 0 {
-                                *delta += gain_row[x as usize];
-                            }
-                        }
+                        // Mixed coverage: the still-uncovered pixels are
+                        // exactly the clear occupancy bits, so the delta
+                        // is a bitset walk — no count is read.
+                        *delta += self.coverage.sum_gains_uncovered(py, lo, hi, gain_row);
                         *pixels += len;
                     }
                 } else if self.coverage.span_singly_covered(py, lo, hi) {
@@ -465,11 +508,9 @@ impl Configuration {
                     *fast_hits += 1;
                     *skipped += len;
                 } else {
-                    for x in lo..=hi {
-                        if cov_row[(x - frame.x0) as usize] == 1 {
-                            *delta -= gain_row[x as usize];
-                        }
-                    }
+                    // Mixed coverage: `occ & !multi` marks the pixels only
+                    // this disk covers — their gains leave the sum.
+                    *delta -= self.coverage.sum_gains_singly_covered(py, lo, hi, gain_row);
                     *pixels += len;
                 }
             };
@@ -483,7 +524,6 @@ impl Configuration {
                     hi = hi.max(spans[j].1);
                     j += 1;
                 }
-                let len = (hi - lo + 1) as u64;
                 if j == i + 1 {
                     eval_single(
                         lo,
@@ -529,27 +569,17 @@ impl Configuration {
                         );
                     }
                 } else {
-                    for x in lo..=hi {
-                        let mut minus = 0i64;
-                        let mut plus = 0i64;
-                        for &(sx0, sx1, is_add) in spans {
-                            if x >= sx0 && x <= sx1 {
-                                if is_add {
-                                    plus += 1;
-                                } else {
-                                    minus += 1;
-                                }
-                            }
-                        }
-                        let count = i64::from(cov_row[(x - frame.x0) as usize]);
-                        let pre = count > 0;
-                        let post = count - minus + plus > 0;
-                        if pre != post {
-                            let g = gain_row[x as usize];
-                            delta += if post { g } else { -g };
-                        }
-                    }
-                    pixels += len;
+                    sweep_run(
+                        &spans[i..j],
+                        lo,
+                        hi,
+                        cov_row,
+                        gain_row,
+                        frame.x0,
+                        &mut delta,
+                        &mut pixels,
+                        &mut skipped,
+                    );
                 }
                 i = j;
             }
@@ -560,40 +590,82 @@ impl Configuration {
         delta
     }
 
-    /// General evaluation (any disk count): visit the union of all
-    /// affected disks row-span by row-span, counting each pixel once — a
-    /// pixel is handled by the first disk (in removed ++ added order) that
-    /// covers it. Coverage counts and gains are read through contiguous
-    /// row slices; only the membership tests stay per-pixel.
+    /// General evaluation (any disk count): per image row, collect every
+    /// affected disk's span (the exact arithmetic of
+    /// [`crate::coverage::for_each_disk_row`]), merge them into contiguous
+    /// union runs and sweep each run segment by segment — a segment being
+    /// a maximal stretch where the same set of spans is active, so the net
+    /// count change is constant and the coverage flips resolve through the
+    /// [`crate::simd::sum_gain_flips`] lane kernel instead of per-pixel
+    /// membership tests against every disk.
     fn delta_log_lik_general(&self, edit: &Edit, model: &NucleiModel) -> f64 {
         let gain = &model.gain;
+        let frame = self.coverage.rect();
         let removed: Vec<Circle> = edit.remove.iter().map(|&i| self.circles[i]).collect();
+        if removed.is_empty() && edit.add.is_empty() {
+            return 0.0;
+        }
         let mut delta = 0.0;
         let mut pixels = 0u64;
-        let frame = self.coverage.rect();
-        let all: Vec<&Circle> = removed.iter().chain(edit.add.iter()).collect();
-        for (di, disk) in all.iter().enumerate() {
-            crate::coverage::for_each_disk_row(disk, &frame, |y, x0, x1| {
-                let cov_row = self.coverage.row(y);
-                let gain_row = gain.row(y as u32);
-                for x in x0..=x1 {
-                    if all[..di].iter().any(|d| d.covers_pixel(x, y)) {
-                        continue; // already handled by an earlier disk
-                    }
-                    pixels += 1;
-                    let count = i64::from(cov_row[(x - frame.x0) as usize]);
-                    let minus = removed.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
-                    let plus = edit.add.iter().filter(|c| c.covers_pixel(x, y)).count() as i64;
-                    let pre = count > 0;
-                    let post = count - minus + plus > 0;
-                    if pre != post {
-                        let g = gain_row[x as usize];
-                        delta += if post { g } else { -g };
-                    }
+        let mut skipped = 0u64;
+        let mut y0 = i64::MAX;
+        let mut y1 = i64::MIN;
+        for c in removed.iter().chain(edit.add.iter()) {
+            y0 = y0.min(((c.y - c.r - 0.5).ceil() as i64).max(frame.y0));
+            y1 = y1.max(((c.y + c.r - 0.5).floor() as i64).min(frame.y1 - 1));
+        }
+        let mut spans: Vec<(i64, i64, bool)> = Vec::with_capacity(removed.len() + edit.add.len());
+        for py in y0..=y1 {
+            spans.clear();
+            let tagged = removed
+                .iter()
+                .map(|c| (c, false))
+                .chain(edit.add.iter().map(|c| (c, true)));
+            for (c, is_add) in tagged {
+                let dy = py as f64 + 0.5 - c.y;
+                let h2 = c.r * c.r - dy * dy;
+                if h2 < 0.0 {
+                    continue;
                 }
-            });
+                let h = h2.sqrt();
+                let x0 = ((c.x - h - 0.5).ceil() as i64).max(frame.x0);
+                let x1 = ((c.x + h - 0.5).floor() as i64).min(frame.x1 - 1);
+                if x0 > x1 {
+                    continue;
+                }
+                spans.push((x0, x1, is_add));
+            }
+            if spans.is_empty() {
+                continue;
+            }
+            spans.sort_unstable_by_key(|s| s.0);
+            let cov_row = self.coverage.row(py);
+            let gain_row = gain.row(py as u32);
+            let mut i = 0;
+            while i < spans.len() {
+                let lo = spans[i].0;
+                let mut hi = spans[i].1;
+                let mut j = i + 1;
+                while j < spans.len() && spans[j].0 <= hi + 1 {
+                    hi = hi.max(spans[j].1);
+                    j += 1;
+                }
+                sweep_run(
+                    &spans[i..j],
+                    lo,
+                    hi,
+                    cov_row,
+                    gain_row,
+                    frame.x0,
+                    &mut delta,
+                    &mut pixels,
+                    &mut skipped,
+                );
+                i = j;
+            }
         }
         crate::perf::add_pixels_visited(pixels);
+        crate::perf::add_pixels_skipped(skipped);
         delta
     }
 
@@ -682,6 +754,33 @@ impl Configuration {
         n
     }
 
+    /// The `n`-th (0-based) unordered close pair in the enumeration order
+    /// of [`Configuration::list_close_pairs`], without materialising the
+    /// list — the merge proposal's uniform pair pick reduces to the
+    /// memoised [`Configuration::count_close_pairs`], one index draw and
+    /// this early-exiting walk. `None` when fewer than `n + 1` pairs
+    /// exist (a stale count, which callers treat as an invalid proposal).
+    #[must_use]
+    pub fn nth_close_pair(&self, max_dist: f64, n: usize) -> Option<(usize, usize)> {
+        let mut remaining = n;
+        let mut found = None;
+        for (i, c) in self.circles.iter().enumerate() {
+            if found.is_some() {
+                break;
+            }
+            self.spatial.for_neighbors(c.x, c.y, max_dist, |j| {
+                if found.is_none() && j > i && c.centre_distance(&self.circles[j]) < max_dist {
+                    if remaining == 0 {
+                        found = Some((i, j));
+                    } else {
+                        remaining -= 1;
+                    }
+                }
+            });
+        }
+        found
+    }
+
     /// Lists unordered pairs `(i, j)`, `i < j`, with centre distance below
     /// `max_dist`. Needed where the actual pairs matter (uniform pair
     /// selection in the merge proposal); counting callers should use
@@ -739,6 +838,65 @@ impl Configuration {
             ));
         }
         Ok(())
+    }
+}
+
+/// Sweeps one merged run `[lo, hi]` of overlapping row spans. The run is
+/// cut into segments over which the active span set — and hence the net
+/// coverage-count change `plus − minus` — is constant; each segment with a
+/// non-zero net change resolves its 0↔covered flips through
+/// [`crate::simd::sum_gain_flips`]: a pixel flips on iff its count is 0 and
+/// `net > 0` (gain enters the sum positively) and flips off iff
+/// `1 ≤ count ≤ −net` (gain leaves the sum). Segments with `net == 0`
+/// cannot change any pixel's covered/uncovered state and are skipped
+/// wholesale.
+#[allow(clippy::too_many_arguments)]
+fn sweep_run(
+    spans: &[(i64, i64, bool)],
+    lo: i64,
+    hi: i64,
+    cov_row: &[u16],
+    gain_row: &[f64],
+    frame_x0: i64,
+    delta: &mut f64,
+    pixels: &mut u64,
+    skipped: &mut u64,
+) {
+    let mut x = lo;
+    while x <= hi {
+        // Next segment boundary: the nearest span start or end beyond `x`.
+        let mut next = hi + 1;
+        let mut minus = 0i64;
+        let mut plus = 0i64;
+        for &(sx0, sx1, is_add) in spans {
+            if sx0 > x {
+                next = next.min(sx0);
+                continue;
+            }
+            if sx1 >= x {
+                if is_add {
+                    plus += 1;
+                } else {
+                    minus += 1;
+                }
+                next = next.min(sx1 + 1);
+            }
+        }
+        let len = (next - x) as u64;
+        let net = plus - minus;
+        if net == 0 {
+            *skipped += len;
+        } else {
+            let s = (x - frame_x0) as usize;
+            let e = (next - 1 - frame_x0) as usize;
+            *delta += crate::simd::sum_gain_flips(
+                &cov_row[s..=e],
+                &gain_row[x as usize..=(next - 1) as usize],
+                net,
+            );
+            *pixels += len;
+        }
+        x = next;
     }
 }
 

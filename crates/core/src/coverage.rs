@@ -12,8 +12,12 @@
 //! arithmetic), and per-row occupancy bitsets detect the overlap-free
 //! common case, where a whole span crosses 0↔1 together and its gain sum
 //! is one prefix-table subtraction ([`Gain::row_prefix`]) instead of an
-//! O(span) walk. Mixed-coverage spans fall back to a scalar walk over
-//! contiguous row slices.
+//! O(span) walk. Mixed-coverage spans run through the [`crate::simd`]
+//! lane kernels one bitset-word window (≤ 64 counts) at a time: the
+//! kernel updates the counts and answers with crossing masks, the masks
+//! patch the occupancy words directly, and gains accumulate over the
+//! masks' set bits in ascending pixel order (bit-identical across
+//! backends).
 
 use crate::likelihood::Gain;
 use pmcmc_imaging::{Circle, Rect};
@@ -133,14 +137,126 @@ fn span_bits_clear(words: &mut [u64], b0: usize, b1: usize) {
     }
 }
 
+/// Number of set bits among bits `b0..=b1` of `words`.
 #[inline]
-fn bit_set(words: &mut [u64], b: usize) {
-    words[b / 64] |= 1u64 << (b % 64);
+fn span_bits_count(words: &[u64], b0: usize, b1: usize) -> usize {
+    let (w0, w1) = (b0 / 64, b1 / 64);
+    let first = !0u64 << (b0 % 64);
+    let last = !0u64 >> (63 - b1 % 64);
+    if w0 == w1 {
+        return (words[w0] & first & last).count_ones() as usize;
+    }
+    let mut n = (words[w0] & first).count_ones() + (words[w1] & last).count_ones();
+    for &w in &words[w0 + 1..w1] {
+        n += w.count_ones();
+    }
+    n as usize
 }
 
+/// Mask of `len` bits starting at bit `shift` (`shift + len ≤ 64`).
 #[inline]
-fn bit_clear(words: &mut [u64], b: usize) {
-    words[b / 64] &= !(1u64 << (b % 64));
+fn window_mask(shift: usize, len: usize) -> u64 {
+    debug_assert!(len >= 1 && shift + len <= 64);
+    (!0u64 >> (64 - len)) << shift
+}
+
+/// Mixed-span add. The key identity: on a `+1` the crossing masks are
+/// already encoded in the bitsets — a pixel crosses 0→1 iff its `occ` bit
+/// is clear, and 1→2 iff `occ` is set but `multi` clear — so no coverage
+/// count ever needs *comparing*. The counts are bumped with one bulk
+/// (auto-vectorised) increment, the masks come from word-level bitset
+/// algebra, and only the newly covered pixels' gains are read (ascending,
+/// via [`crate::simd::sum_masked`]). Outlined so the overlap-free fast
+/// path in `add_circle` stays small enough to inline cleanly.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn mixed_add_row(
+    counts: &mut [u16],
+    occ: &mut [u64],
+    multi: &mut [u64],
+    gain_row: &[f64],
+    b0: usize,
+    b1: usize,
+    x0: usize,
+    covered: &mut usize,
+) -> f64 {
+    for c in &mut counts[b0..=b1] {
+        *c += 1;
+    }
+    // Global x of bit 0 of word 0 (`x0 ≥ b0`: rects live in image space).
+    let rx0 = x0 - b0;
+    let (w0, w1) = (b0 / 64, b1 / 64);
+    let first = !0u64 << (b0 % 64);
+    let last = !0u64 >> (63 - b1 % 64);
+    let mut dlog = 0.0;
+    for w in w0..=w1 {
+        let mut wmask = !0u64;
+        if w == w0 {
+            wmask &= first;
+        }
+        if w == w1 {
+            wmask &= last;
+        }
+        let became1 = !occ[w] & wmask;
+        let became2 = occ[w] & !multi[w] & wmask;
+        occ[w] |= became1;
+        multi[w] |= became2;
+        if became1 != 0 {
+            *covered += became1.count_ones() as usize;
+            dlog += crate::simd::sum_masked(&gain_row[rx0 + w * 64..], became1);
+        }
+    }
+    dlog
+}
+
+/// Clears a crossing mask (bit `k` ↔ row bit `b + k`) from a row's bitset
+/// words. The mask may straddle one word boundary; a non-zero spill bit
+/// implies the corresponding pixel exists, so `words[w + 1]` is in range.
+#[inline]
+fn merge_bits_clear(words: &mut [u64], b: usize, mask: u64) {
+    let (w, shift) = (b / 64, b % 64);
+    words[w] &= !(mask << shift);
+    if shift != 0 {
+        let spill = mask >> (64 - shift);
+        if spill != 0 {
+            words[w + 1] &= !spill;
+        }
+    }
+}
+
+/// Mixed-span remove. Unlike the add direction, the 2→1 crossings are
+/// invisible to the bitsets (counts 2 and 3 both read `occ`+`multi`), so
+/// the span goes through the fused [`crate::simd::remove_span`] lane
+/// kernel in unaligned ≤ 64-pixel chunks (one chunk for every disk with
+/// r ≤ 32 — word alignment is *not* required, so a typical ~20-pixel span
+/// is a single full-width kernel call) and the crossing masks are patched
+/// across word boundaries. Callers subtract the returned leaving-gain sum.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn mixed_remove_row(
+    counts: &mut [u16],
+    occ: &mut [u64],
+    multi: &mut [u64],
+    gain_row: &[f64],
+    b0: usize,
+    b1: usize,
+    x0: usize,
+    covered: &mut usize,
+) -> f64 {
+    let mut dlog = 0.0;
+    let mut b = b0;
+    while b <= b1 {
+        let hi = b1.min(b + 63);
+        let gx = x0 + (b - b0);
+        let (became0, became1, sum) =
+            crate::simd::remove_span(&mut counts[b..=hi], &gain_row[gx..=gx + (hi - b)]);
+        merge_bits_clear(occ, b, became0);
+        merge_bits_clear(multi, b, became1);
+        *covered -= became0.count_ones() as usize;
+        dlog += sum;
+        b = hi + 1;
+    }
+    dlog
 }
 
 impl CoverageGrid {
@@ -250,6 +366,81 @@ impl CoverageGrid {
         )
     }
 
+    /// Sum of `gain_row[x]` (indexed by global x) over the *uncovered*
+    /// pixels (count 0) of the inclusive global-x span `[x0, x1]` of row
+    /// `y`. Pure occupancy-bitset walk — `count == 0` is exactly a clear
+    /// `occ` bit — so no coverage count is ever read; addition order is
+    /// ascending x, matching the per-pixel scalar loop bit for bit.
+    ///
+    /// # Panics
+    /// Panics if the span lies outside the grid.
+    #[must_use]
+    pub fn sum_gains_uncovered(&self, y: i64, x0: i64, x1: i64, gain_row: &[f64]) -> f64 {
+        assert!(y >= self.rect.y0 && y < self.rect.y1, "row outside grid");
+        assert!(
+            x0 >= self.rect.x0 && x1 < self.rect.x1 && x0 <= x1,
+            "span outside grid"
+        );
+        let (occ, _) = self.bit_rows(y);
+        let b0 = (x0 - self.rect.x0) as usize;
+        let b1 = (x1 - self.rect.x0) as usize;
+        let base = self.rect.x0 as usize;
+        let (w0, w1) = (b0 / 64, b1 / 64);
+        let first = !0u64 << (b0 % 64);
+        let last = !0u64 >> (63 - b1 % 64);
+        let mut sum = 0.0;
+        for w in w0..=w1 {
+            let mut m = !occ[w];
+            if w == w0 {
+                m &= first;
+            }
+            if w == w1 {
+                m &= last;
+            }
+            if m != 0 {
+                sum += crate::simd::sum_masked(&gain_row[base + w * 64..], m);
+            }
+        }
+        sum
+    }
+
+    /// Sum of `gain_row[x]` (indexed by global x) over the *singly
+    /// covered* pixels (count exactly 1) of the inclusive global-x span
+    /// `[x0, x1]` of row `y` — `count == 1` is exactly `occ & !multi`.
+    /// Bitset-only mirror of [`Self::sum_gains_uncovered`].
+    ///
+    /// # Panics
+    /// Panics if the span lies outside the grid.
+    #[must_use]
+    pub fn sum_gains_singly_covered(&self, y: i64, x0: i64, x1: i64, gain_row: &[f64]) -> f64 {
+        assert!(y >= self.rect.y0 && y < self.rect.y1, "row outside grid");
+        assert!(
+            x0 >= self.rect.x0 && x1 < self.rect.x1 && x0 <= x1,
+            "span outside grid"
+        );
+        let (occ, multi) = self.bit_rows(y);
+        let b0 = (x0 - self.rect.x0) as usize;
+        let b1 = (x1 - self.rect.x0) as usize;
+        let base = self.rect.x0 as usize;
+        let (w0, w1) = (b0 / 64, b1 / 64);
+        let first = !0u64 << (b0 % 64);
+        let last = !0u64 >> (63 - b1 % 64);
+        let mut sum = 0.0;
+        for w in w0..=w1 {
+            let mut m = occ[w] & !multi[w];
+            if w == w0 {
+                m &= first;
+            }
+            if w == w1 {
+                m &= last;
+            }
+            if m != 0 {
+                sum += crate::simd::sum_masked(&gain_row[base + w * 64..], m);
+            }
+        }
+        sum
+    }
+
     /// Adds a circle's disk; returns the log-likelihood delta (sum of gains
     /// of pixels newly covered).
     pub fn add_circle(&mut self, circle: &Circle, gain: &Gain) -> f64 {
@@ -278,19 +469,16 @@ impl CoverageGrid {
                 skipped += len as u64;
             } else {
                 let multi = &mut self.multi[row * wpr..(row + 1) * wpr];
-                let gain_row = gain.row(y as u32);
-                for (k, c) in counts[b0..=b1].iter_mut().enumerate() {
-                    *c += 1;
-                    match *c {
-                        1 => {
-                            dlog += gain_row[x0 as usize + k];
-                            self.covered += 1;
-                            bit_set(occ, b0 + k);
-                        }
-                        2 => bit_set(multi, b0 + k),
-                        _ => {}
-                    }
-                }
+                dlog += mixed_add_row(
+                    counts,
+                    occ,
+                    multi,
+                    gain.row(y as u32),
+                    b0,
+                    b1,
+                    x0 as usize,
+                    &mut self.covered,
+                );
             }
         });
         crate::perf::add_span_fastpath_hits(fast_hits);
@@ -332,20 +520,16 @@ impl CoverageGrid {
                 fast_hits += 1;
                 skipped += len as u64;
             } else {
-                let gain_row = gain.row(y as u32);
-                for (k, c) in counts[b0..=b1].iter_mut().enumerate() {
-                    debug_assert!(*c > 0, "removing uncovered pixel");
-                    *c -= 1;
-                    match *c {
-                        0 => {
-                            dlog -= gain_row[x0 as usize + k];
-                            self.covered -= 1;
-                            bit_clear(occ, b0 + k);
-                        }
-                        1 => bit_clear(multi, b0 + k),
-                        _ => {}
-                    }
-                }
+                dlog -= mixed_remove_row(
+                    counts,
+                    occ,
+                    multi,
+                    gain.row(y as u32),
+                    b0,
+                    b1,
+                    x0 as usize,
+                    &mut self.covered,
+                );
             }
         });
         crate::perf::add_span_fastpath_hits(fast_hits);
@@ -376,20 +560,21 @@ impl CoverageGrid {
         let occ = &mut self.occ[row * wpr..(row + 1) * wpr];
         let multi = &mut self.multi[row * wpr..(row + 1) * wpr];
         let mut covered = 0usize;
-        for (k, &c) in counts[b0..=b1].iter().enumerate() {
-            let b = b0 + k;
-            if c >= 1 {
-                bit_set(occ, b);
-                covered += 1;
-            } else {
-                bit_clear(occ, b);
-            }
-            if c >= 2 {
-                bit_set(multi, b);
-            } else {
-                bit_clear(multi, b);
-            }
+        let mut lanes = 0u64;
+        let mut b = b0;
+        while b <= b1 {
+            let word = b / 64;
+            let hi = b1.min(word * 64 + 63);
+            let (occ_m, multi_m) = crate::simd::occupancy_masks(&counts[b..=hi]);
+            let shift = b % 64;
+            let window = window_mask(shift, hi - b + 1);
+            occ[word] = (occ[word] & !window) | (occ_m << shift);
+            multi[word] = (multi[word] & !window) | (multi_m << shift);
+            covered += occ_m.count_ones() as usize;
+            lanes += (hi - b + 1) as u64;
+            b = hi + 1;
         }
+        crate::simd::record_lanes(lanes);
         covered
     }
 
@@ -438,10 +623,12 @@ impl CoverageGrid {
         for y in r.y0..r.y1 {
             let dst = self.index(r.x0, y);
             let src = sub.index(r.x0, y);
-            let was: usize = self.counts[dst..dst + w].iter().filter(|&&c| c > 0).count();
+            let b0 = (r.x0 - self.rect.x0) as usize;
+            // The occupancy bitset already knows how many pixels of the
+            // window were covered — count bits instead of scanning counts.
+            let was = span_bits_count(self.bit_rows(y).0, b0, b0 + w - 1);
             self.counts[dst..dst + w].copy_from_slice(&sub.counts[src..src + w]);
             let row = (y - self.rect.y0) as usize;
-            let b0 = (r.x0 - self.rect.x0) as usize;
             let now = self.rebuild_row_bits(row, b0, b0 + w - 1);
             self.covered = self.covered - was + now;
         }

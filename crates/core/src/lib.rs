@@ -13,6 +13,8 @@
 //!   scales;
 //! * [`likelihood`] / [`coverage`] — the two-level Gaussian pixel
 //!   likelihood with O(Δarea) incremental updates;
+//! * [`simd`] — runtime-dispatched lane kernels behind the overlapped-span
+//!   residuals of those updates (scalar fallback via `PMCMC_FORCE_SCALAR=1`);
 //! * [`config`] — the chain state (circles + caches) with reversible
 //!   [`config::Edit`]s;
 //! * [`moves`] — the seven RJMCMC proposal builders with exact
@@ -40,6 +42,7 @@ pub mod perf;
 pub mod rng;
 pub mod sampler;
 pub mod samples;
+pub mod simd;
 pub mod spatial;
 pub mod tile;
 
@@ -52,6 +55,6 @@ pub use model::NucleiModel;
 pub use params::{ModelParams, MoveKind, MoveWeights, ProposalScales};
 pub use perf::PerfSnapshot;
 pub use rng::{BatchedRng, Xoshiro256};
-pub use sampler::{evaluate_proposal, Evaluation, Sampler};
+pub use sampler::{evaluate_proposal, Evaluation, ProposalBatch, Sampler};
 pub use samples::{CountDistribution, SampleCollector};
 pub use tile::TileWorkspace;

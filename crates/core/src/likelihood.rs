@@ -29,6 +29,10 @@ pub struct Gain {
     /// `prefix[y * (w + 1) + x] = Σ data[y, 0..x]`, so the gain of any
     /// contiguous span `[x0, x1]` is one subtraction.
     prefix: Vec<f64>,
+    /// Per-pixel empty-configuration contributions `−(y_p − bg)²/(2σ²)`.
+    /// Kept so [`Gain::crop`] can re-derive a sub-image's `log_lik_empty`
+    /// without the source image (cold data — only touched on crops).
+    empty_data: Vec<f64>,
     /// Log-likelihood of the empty configuration (all pixels background),
     /// up to the Gaussian normalisation constant.
     log_lik_empty: f64,
@@ -45,17 +49,22 @@ impl Gain {
         assert_eq!(img.height(), params.height, "image height mismatch");
         let two_var = 2.0 * params.noise_sd * params.noise_sd;
         let mut data = Vec::with_capacity(img.len());
-        let mut empty = 0.0f64;
+        let mut empty_data = Vec::with_capacity(img.len());
         for (_, _, y) in img.pixels() {
             let y = f64::from(y);
             let db = y - params.bg;
             let df = y - params.fg;
             data.push((db * db - df * df) / two_var);
-            empty -= db * db / two_var;
+            empty_data.push(-db * db / two_var);
         }
         let w = img.width() as usize;
         let h = img.height() as usize;
         let mut prefix = Vec::with_capacity(h * (w + 1));
+        // Row-structured accumulation (per-row chains, then a chain over
+        // row sums): [`Gain::crop`] accumulates its sub-rows the same way,
+        // which is what makes a crop bit-identical to a from-scratch build
+        // on the cropped image.
+        let mut empty = 0.0f64;
         for y in 0..h {
             let mut acc = 0.0f64;
             prefix.push(0.0);
@@ -63,12 +72,70 @@ impl Gain {
                 acc += g;
                 prefix.push(acc);
             }
+            let mut row_empty = 0.0f64;
+            for &e in &empty_data[y * w..(y + 1) * w] {
+                row_empty += e;
+            }
+            empty += row_empty;
         }
         Self {
             width: img.width(),
             height: img.height(),
             data,
             prefix,
+            empty_data,
+            log_lik_empty: empty,
+        }
+    }
+
+    /// Copies out the gain sub-image for `rect` (which must lie inside
+    /// the image). Only the affected rows' prefix tables and empty-config
+    /// sums are rebuilt — from the already-computed per-pixel tables, not
+    /// from image pixels — and the result is **bit-identical** to
+    /// `Gain::from_image` on the cropped image (same values, same
+    /// accumulation order), so partition chains built either way replay
+    /// the same trajectories.
+    ///
+    /// # Panics
+    /// Panics if `rect` is empty or not contained in the image.
+    #[must_use]
+    pub fn crop(&self, rect: &Rect) -> Gain {
+        let frame = Rect::of_image(self.width, self.height);
+        assert_eq!(
+            rect.intersect(&frame),
+            *rect,
+            "crop region must lie inside the gain image"
+        );
+        let w = rect.width().max(0) as usize;
+        let h = rect.height().max(0) as usize;
+        assert!(w > 0 && h > 0, "empty crop region");
+        let fw = self.width as usize;
+        let mut data = Vec::with_capacity(w * h);
+        let mut empty_data = Vec::with_capacity(w * h);
+        let mut prefix = Vec::with_capacity(h * (w + 1));
+        let mut empty = 0.0f64;
+        for row in 0..h {
+            let src = (rect.y0 as usize + row) * fw + rect.x0 as usize;
+            data.extend_from_slice(&self.data[src..src + w]);
+            empty_data.extend_from_slice(&self.empty_data[src..src + w]);
+            let mut acc = 0.0f64;
+            prefix.push(0.0);
+            for &g in &data[row * w..(row + 1) * w] {
+                acc += g;
+                prefix.push(acc);
+            }
+            let mut row_empty = 0.0f64;
+            for &e in &empty_data[row * w..(row + 1) * w] {
+                row_empty += e;
+            }
+            empty += row_empty;
+        }
+        Gain {
+            width: w as u32,
+            height: h as u32,
+            data,
+            prefix,
+            empty_data,
             log_lik_empty: empty,
         }
     }
@@ -203,6 +270,59 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression test for the crop path: the prefix tables (and every
+    /// other table) of a cropped gain must equal a from-scratch build on
+    /// the cropped image *bit for bit* — only the affected rows are
+    /// rebuilt, and in the same accumulation order as `from_image`.
+    #[test]
+    fn crop_tables_bit_identical_to_from_scratch_build() {
+        let p = params(23, 17);
+        let img = GrayImage::from_fn(23, 17, |x, y| ((x * 31 + y * 17) % 13) as f32 / 13.0);
+        let g = Gain::from_image(&img, &p);
+        for rect in [
+            Rect::new(0, 0, 23, 17),   // whole image
+            Rect::new(0, 3, 23, 11),   // full-width row band
+            Rect::new(5, 0, 14, 17),   // column band
+            Rect::new(7, 2, 20, 13),   // interior
+            Rect::new(22, 16, 23, 17), // single pixel
+        ] {
+            let cropped = g.crop(&rect);
+            let sub_img = img.crop(&rect);
+            let mut sub_p = p.clone();
+            sub_p.width = sub_img.width();
+            sub_p.height = sub_img.height();
+            let scratch = Gain::from_image(&sub_img, &sub_p);
+            assert_eq!(cropped.width(), scratch.width());
+            assert_eq!(cropped.height(), scratch.height());
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&cropped.data), bits(&scratch.data), "{rect:?} data");
+            assert_eq!(
+                bits(&cropped.prefix),
+                bits(&scratch.prefix),
+                "{rect:?} prefix"
+            );
+            assert_eq!(
+                bits(&cropped.empty_data),
+                bits(&scratch.empty_data),
+                "{rect:?} empty data"
+            );
+            assert_eq!(
+                cropped.log_lik_empty().to_bits(),
+                scratch.log_lik_empty().to_bits(),
+                "{rect:?} empty log-lik"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "crop region")]
+    fn crop_outside_panics() {
+        let p = params(8, 8);
+        let img = GrayImage::filled(8, 8, 0.4);
+        let g = Gain::from_image(&img, &p);
+        let _ = g.crop(&Rect::new(4, 4, 12, 12));
     }
 
     #[test]

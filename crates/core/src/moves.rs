@@ -38,6 +38,23 @@ pub struct Proposal {
     pub needs_post_pairs: bool,
 }
 
+impl Proposal {
+    /// An inert proposal for use as a reusable scratch buffer with
+    /// [`propose_into`] (the edit's heap buffers persist across reuses).
+    #[must_use]
+    pub fn scratch() -> Self {
+        Self {
+            kind: MoveKind::Birth,
+            edit: Edit {
+                remove: Vec::new(),
+                add: Vec::new(),
+            },
+            log_q: 0.0,
+            needs_post_pairs: false,
+        }
+    }
+}
+
 /// Builds a proposal of the given kind, or `None` when the kind cannot be
 /// proposed from the current state (empty configuration, no mergeable
 /// pair, irreversible split geometry). A `None` counts as a rejected
@@ -49,14 +66,32 @@ pub fn propose(
     weights: &MoveWeights,
     rng: &mut impl Rng,
 ) -> Option<Proposal> {
+    let mut out = Proposal::scratch();
+    propose_into(&mut out, kind, config, model, weights, rng).then_some(out)
+}
+
+/// Allocation-free form of [`propose`]: writes the proposal into `out`
+/// (reusing its edit's heap buffers) and reports whether the kind was
+/// proposable. The RNG draw sequence is identical to [`propose`]'s; on
+/// `false` the contents of `out` are unspecified. This is what the
+/// samplers' iteration loops call with a per-sampler scratch proposal, so
+/// steady-state proposing performs no heap allocation.
+pub fn propose_into(
+    out: &mut Proposal,
+    kind: MoveKind,
+    config: &Configuration,
+    model: &NucleiModel,
+    weights: &MoveWeights,
+    rng: &mut impl Rng,
+) -> bool {
     match kind {
-        MoveKind::Birth => propose_birth(config, model, weights, rng),
-        MoveKind::Death => propose_death(config, model, weights, rng),
-        MoveKind::Split => propose_split(config, model, weights, rng),
-        MoveKind::Merge => propose_merge(config, model, weights, rng),
-        MoveKind::Replace => propose_replace(config, model, rng),
-        MoveKind::Translate => propose_translate(config, model, rng),
-        MoveKind::Resize => propose_resize(config, model, rng),
+        MoveKind::Birth => propose_birth(out, config, model, weights, rng),
+        MoveKind::Death => propose_death(out, config, model, weights, rng),
+        MoveKind::Split => propose_split(out, config, model, weights, rng),
+        MoveKind::Merge => propose_merge(out, config, model, weights, rng),
+        MoveKind::Replace => propose_replace(out, config, model, rng),
+        MoveKind::Translate => propose_translate(out, config, model, rng),
+        MoveKind::Resize => propose_resize(out, config, model, rng),
     }
 }
 
@@ -65,11 +100,12 @@ fn ln(x: f64) -> f64 {
 }
 
 fn propose_birth(
+    out: &mut Proposal,
     config: &Configuration,
     model: &NucleiModel,
     weights: &MoveWeights,
     rng: &mut impl Rng,
-) -> Option<Proposal> {
+) -> bool {
     let p = &model.params;
     let c = Circle::new(
         rng.gen_range(0.0..f64::from(p.width)),
@@ -80,22 +116,22 @@ fn propose_birth(
     // forward: w_birth · (1/WH) · φ_r(r);  reverse: w_death · 1/(k+1).
     let log_forward = ln(weights.birth) + p.position_log_density() + p.radius_prior.logpdf(c.r);
     let log_reverse = ln(weights.death) - ln(k + 1.0);
-    Some(Proposal {
-        kind: MoveKind::Birth,
-        edit: Edit::add_one(c),
-        log_q: log_reverse - log_forward,
-        needs_post_pairs: false,
-    })
+    out.kind = MoveKind::Birth;
+    out.edit.set_add_one(c);
+    out.log_q = log_reverse - log_forward;
+    out.needs_post_pairs = false;
+    true
 }
 
 fn propose_death(
+    out: &mut Proposal,
     config: &Configuration,
     model: &NucleiModel,
     weights: &MoveWeights,
     rng: &mut impl Rng,
-) -> Option<Proposal> {
+) -> bool {
     if config.is_empty() {
-        return None;
+        return false;
     }
     let p = &model.params;
     let k = config.len();
@@ -103,21 +139,21 @@ fn propose_death(
     let c = config.circle(i);
     let log_forward = ln(weights.death) - ln(k as f64);
     let log_reverse = ln(weights.birth) + p.position_log_density() + p.radius_prior.logpdf(c.r);
-    Some(Proposal {
-        kind: MoveKind::Death,
-        edit: Edit::remove_one(i),
-        log_q: log_reverse - log_forward,
-        needs_post_pairs: false,
-    })
+    out.kind = MoveKind::Death;
+    out.edit.set_remove_one(i);
+    out.log_q = log_reverse - log_forward;
+    out.needs_post_pairs = false;
+    true
 }
 
 fn propose_replace(
+    out: &mut Proposal,
     config: &Configuration,
     model: &NucleiModel,
     rng: &mut impl Rng,
-) -> Option<Proposal> {
+) -> bool {
     if config.is_empty() {
-        return None;
+        return false;
     }
     let p = &model.params;
     let i = rng.gen_range(0..config.len());
@@ -129,22 +165,21 @@ fn propose_replace(
     );
     // Kind weight, selection and the uniform position density cancel; the
     // radius proposal densities do not.
-    let log_q = p.radius_prior.logpdf(old.r) - p.radius_prior.logpdf(new.r);
-    Some(Proposal {
-        kind: MoveKind::Replace,
-        edit: Edit::replace_one(i, new),
-        log_q,
-        needs_post_pairs: false,
-    })
+    out.kind = MoveKind::Replace;
+    out.edit.set_replace_one(i, new);
+    out.log_q = p.radius_prior.logpdf(old.r) - p.radius_prior.logpdf(new.r);
+    out.needs_post_pairs = false;
+    true
 }
 
 fn propose_translate(
+    out: &mut Proposal,
     config: &Configuration,
     model: &NucleiModel,
     rng: &mut impl Rng,
-) -> Option<Proposal> {
+) -> bool {
     if config.is_empty() {
-        return None;
+        return false;
     }
     let i = rng.gen_range(0..config.len());
     let old = config.circle(i);
@@ -155,21 +190,21 @@ fn propose_translate(
         old.r,
     );
     // Symmetric Gaussian step with identical selection both ways: q cancels.
-    Some(Proposal {
-        kind: MoveKind::Translate,
-        edit: Edit::replace_one(i, new),
-        log_q: 0.0,
-        needs_post_pairs: false,
-    })
+    out.kind = MoveKind::Translate;
+    out.edit.set_replace_one(i, new);
+    out.log_q = 0.0;
+    out.needs_post_pairs = false;
+    true
 }
 
 fn propose_resize(
+    out: &mut Proposal,
     config: &Configuration,
     model: &NucleiModel,
     rng: &mut impl Rng,
-) -> Option<Proposal> {
+) -> bool {
     if config.is_empty() {
-        return None;
+        return false;
     }
     let i = rng.gen_range(0..config.len());
     let old = config.circle(i);
@@ -178,12 +213,11 @@ fn propose_resize(
         old.y,
         old.r + model.scales.resize_sd * standard_normal(rng),
     );
-    Some(Proposal {
-        kind: MoveKind::Resize,
-        edit: Edit::replace_one(i, new),
-        log_q: 0.0,
-        needs_post_pairs: false,
-    })
+    out.kind = MoveKind::Resize;
+    out.edit.set_replace_one(i, new);
+    out.log_q = 0.0;
+    out.needs_post_pairs = false;
+    true
 }
 
 /// Split transformation: parent `(x, y, r)` with auxiliaries
@@ -198,13 +232,14 @@ fn propose_resize(
 /// reached by exactly two auxiliary values (`u` and its mirror), hence the
 /// `ln 2` terms below.
 fn propose_split(
+    out: &mut Proposal,
     config: &Configuration,
     model: &NucleiModel,
     weights: &MoveWeights,
     rng: &mut impl Rng,
-) -> Option<Proposal> {
+) -> bool {
     if config.is_empty() {
-        return None;
+        return false;
     }
     let s = &model.scales;
     let k = config.len();
@@ -219,7 +254,7 @@ fn propose_split(
     // The reverse merge only selects pairs closer than merge_max_dist; a
     // wider split can never be reversed, so propose() declares it invalid.
     if c1.centre_distance(&c2) >= s.merge_max_dist {
-        return None;
+        return false;
     }
     let log_forward = ln(weights.split) - ln(k as f64)
         + std::f64::consts::LN_2 // two aux values reach the unordered pair
@@ -230,29 +265,32 @@ fn propose_split(
     // post state, the sampler adds it after applying the edit.
     let log_reverse_partial = ln(weights.merge);
     let log_jacobian = ln(16.0 * parent.r);
-    Some(Proposal {
-        kind: MoveKind::Split,
-        edit: Edit {
-            remove: vec![i],
-            add: vec![c1, c2],
-        },
-        log_q: log_reverse_partial - log_forward + log_jacobian,
-        needs_post_pairs: true,
-    })
+    out.kind = MoveKind::Split;
+    out.edit.set_split(i, c1, c2);
+    out.log_q = log_reverse_partial - log_forward + log_jacobian;
+    out.needs_post_pairs = true;
+    true
 }
 
 fn propose_merge(
+    out: &mut Proposal,
     config: &Configuration,
     model: &NucleiModel,
     weights: &MoveWeights,
     rng: &mut impl Rng,
-) -> Option<Proposal> {
+) -> bool {
     let s = &model.scales;
-    let pairs = config.list_close_pairs(s.merge_max_dist);
-    if pairs.is_empty() {
-        return None;
+    // Count (memoised between accepted moves), draw, then walk to the
+    // drawn pair — same enumeration order and the same single RNG draw as
+    // the historical materialise-then-index implementation, without the
+    // pair-list allocation.
+    let n_pairs = config.count_close_pairs(s.merge_max_dist);
+    if n_pairs == 0 {
+        return false;
     }
-    let (i, j) = pairs[rng.gen_range(0..pairs.len())];
+    let Some((i, j)) = config.nth_close_pair(s.merge_max_dist, rng.gen_range(0..n_pairs)) else {
+        return false;
+    };
     let a = config.circle(i);
     let b = config.circle(j);
     let merged = Circle::new(0.5 * (a.x + b.x), 0.5 * (a.y + b.y), 0.5 * (a.r + b.r));
@@ -263,10 +301,10 @@ fn propose_merge(
     let f = s.split_frac_min;
     if u3 < f || u3 > 1.0 - f {
         // The reverse split could never generate this pair.
-        return None;
+        return false;
     }
     let k_after = (config.len() - 1) as f64;
-    let log_forward = ln(weights.merge) - ln(pairs.len() as f64);
+    let log_forward = ln(weights.merge) - ln(n_pairs as f64);
     let log_reverse = ln(weights.split) - ln(k_after)
         + std::f64::consts::LN_2
         + normal_logpdf(u1, 0.0, s.split_sd)
@@ -274,15 +312,11 @@ fn propose_merge(
         - ln(1.0 - 2.0 * f);
     // Down-move Jacobian is the inverse of the split's: 1/(16·r_merged).
     let log_jacobian = -ln(16.0 * merged.r);
-    Some(Proposal {
-        kind: MoveKind::Merge,
-        edit: Edit {
-            remove: vec![i, j],
-            add: vec![merged],
-        },
-        log_q: log_reverse - log_forward + log_jacobian,
-        needs_post_pairs: false,
-    })
+    out.kind = MoveKind::Merge;
+    out.edit.set_merge(i, j, merged);
+    out.log_q = log_reverse - log_forward + log_jacobian;
+    out.needs_post_pairs = false;
+    true
 }
 
 #[cfg(test)]

@@ -24,6 +24,8 @@ static SPIN_WAIT_NS: AtomicU64 = AtomicU64::new(0);
 static SPEC_ROUNDS: AtomicU64 = AtomicU64::new(0);
 static SPAN_FASTPATH_HITS: AtomicU64 = AtomicU64::new(0);
 static PIXELS_SKIPPED: AtomicU64 = AtomicU64::new(0);
+static SIMD_LANES_PROCESSED: AtomicU64 = AtomicU64::new(0);
+static PROPOSAL_BATCHES: AtomicU64 = AtomicU64::new(0);
 
 /// Records one read-only proposal evaluation.
 #[inline]
@@ -78,6 +80,21 @@ pub fn add_pixels_skipped(n: u64) {
     PIXELS_SKIPPED.fetch_add(n, Relaxed);
 }
 
+/// Records `n` coverage counts pushed through a vector lane kernel
+/// (zero while the scalar backend is forced, so the counter doubles as
+/// a dispatch witness in the BENCH artefacts).
+#[inline]
+pub fn add_simd_lanes(n: u64) {
+    SIMD_LANES_PROCESSED.fetch_add(n, Relaxed);
+}
+
+/// Records one refill-amortised proposal-stream burst (a `ProposalBatch`
+/// top-up in the sampler, or a speculative round's lane pre-draw).
+#[inline]
+pub fn record_proposal_batch() {
+    PROPOSAL_BATCHES.fetch_add(1, Relaxed);
+}
+
 /// A point-in-time copy of every counter. Subtract two snapshots (taken
 /// around a run) with [`PerfSnapshot::since`] to attribute work to the run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,6 +117,11 @@ pub struct PerfSnapshot {
     pub span_fastpath_hits: u64,
     /// Pixels whose scalar walk the span fast path made unnecessary.
     pub pixels_skipped: u64,
+    /// Coverage counts processed by vector lane kernels (0 under
+    /// `PMCMC_FORCE_SCALAR=1`).
+    pub simd_lanes_processed: u64,
+    /// Refill-amortised proposal-stream bursts pre-drawn.
+    pub proposal_batches: u64,
 }
 
 impl PerfSnapshot {
@@ -123,6 +145,10 @@ impl PerfSnapshot {
                 .span_fastpath_hits
                 .saturating_sub(start.span_fastpath_hits),
             pixels_skipped: self.pixels_skipped.saturating_sub(start.pixels_skipped),
+            simd_lanes_processed: self
+                .simd_lanes_processed
+                .saturating_sub(start.simd_lanes_processed),
+            proposal_batches: self.proposal_batches.saturating_sub(start.proposal_batches),
         }
     }
 }
@@ -140,6 +166,8 @@ pub fn snapshot() -> PerfSnapshot {
         spec_rounds: SPEC_ROUNDS.load(Relaxed),
         span_fastpath_hits: SPAN_FASTPATH_HITS.load(Relaxed),
         pixels_skipped: PIXELS_SKIPPED.load(Relaxed),
+        simd_lanes_processed: SIMD_LANES_PROCESSED.load(Relaxed),
+        proposal_batches: PROPOSAL_BATCHES.load(Relaxed),
     }
 }
 
@@ -159,6 +187,8 @@ mod tests {
         record_spec_round();
         add_span_fastpath_hits(3);
         add_pixels_skipped(17);
+        add_simd_lanes(64);
+        record_proposal_batch();
         let d = snapshot().since(&s0);
         // Other test threads may add on top; assert lower bounds only.
         assert!(d.proposals_evaluated >= 1);
@@ -170,6 +200,8 @@ mod tests {
         assert!(d.spec_rounds >= 1);
         assert!(d.span_fastpath_hits >= 3);
         assert!(d.pixels_skipped >= 17);
+        assert!(d.simd_lanes_processed >= 64);
+        assert!(d.proposal_batches >= 1);
     }
 
     #[test]

@@ -156,8 +156,40 @@ impl<R: RngCore> BatchedRng<R> {
         self.inner
     }
 
+    /// Words sitting unread in the buffer.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        RNG_BLOCK - self.pos
+    }
+
+    /// Tops the buffer back up to a full block in one burst, preserving
+    /// every unread word: the unread tail is compacted to the front and
+    /// the freed slots are drawn from the inner generator. Unlike a raw
+    /// `refill` (which is only legal on an empty buffer — it would
+    /// overwrite unread words), `top_up` is safe mid-stream: the
+    /// delivered word sequence is unchanged, and a `Clone` snapshot
+    /// taken before or after replays identically. This is what the
+    /// sampler's `ProposalBatch` calls once per burst so the per-draw
+    /// hot path almost never pays a generator step.
+    pub fn top_up(&mut self) {
+        if self.pos == 0 {
+            return; // already full
+        }
+        let unread = RNG_BLOCK - self.pos;
+        self.buf.copy_within(self.pos.., 0);
+        for w in &mut self.buf[unread..] {
+            *w = self.inner.next_u64();
+        }
+        self.pos = 0;
+        crate::perf::record_rng_refill();
+    }
+
     #[cold]
     fn refill(&mut self) {
+        // Overwrites the whole block: reachable only when the buffer is
+        // drained, otherwise unread words would be discarded (mid-stream
+        // callers must use `top_up`).
+        debug_assert_eq!(self.pos, RNG_BLOCK, "refill with unread words buffered");
         for w in &mut self.buf {
             *w = self.inner.next_u64();
         }
@@ -334,6 +366,36 @@ mod tests {
             rng.next_u64();
         }
         let mut snap = rng.clone();
+        let ahead: Vec<u64> = (0..200).map(|_| rng.next_u64()).collect();
+        let replay: Vec<u64> = (0..200).map(|_| snap.next_u64()).collect();
+        assert_eq!(ahead, replay);
+    }
+
+    #[test]
+    fn top_up_preserves_the_delivered_stream() {
+        let mut raw = Xoshiro256::new(123);
+        let mut batched = BatchedRng::new(Xoshiro256::new(123));
+        // Top up at every buffer phase, including empty (0 buffered),
+        // mid-buffer, and full (no-op): the stream must never skip or
+        // repeat a word.
+        for burst in 0..100 {
+            batched.top_up();
+            assert_eq!(batched.buffered(), 64);
+            batched.top_up(); // full: no-op
+            for _ in 0..(burst % 67) {
+                assert_eq!(raw.next_u64(), batched.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn top_up_keeps_clone_snapshots_exact() {
+        let mut rng = BatchedRng::new(Xoshiro256::new(55));
+        for _ in 0..40 {
+            rng.next_u64();
+        }
+        let mut snap = rng.clone(); // 24 unread words buffered
+        rng.top_up(); // compacts + refills the original only
         let ahead: Vec<u64> = (0..200).map(|_| rng.next_u64()).collect();
         let replay: Vec<u64> = (0..200).map(|_| snap.next_u64()).collect();
         assert_eq!(ahead, replay);

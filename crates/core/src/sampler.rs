@@ -8,9 +8,11 @@
 use crate::config::{count_log_prior, Configuration};
 use crate::diagnostics::AcceptanceStats;
 use crate::model::NucleiModel;
+#[cfg(test)]
 use crate::moves::propose;
+use crate::moves::{propose_into, Proposal};
 use crate::params::{MoveKind, MoveWeights};
-use crate::rng::Xoshiro256;
+use crate::rng::{BatchedRng, Xoshiro256};
 use rand::Rng;
 
 /// Outcome of one iteration.
@@ -95,14 +97,55 @@ pub fn evaluate_proposal(
     }
 }
 
+/// Refill-amortised pre-draw of a burst of proposals' randomness.
+///
+/// Every iteration consumes a handful of `u64` words (move-kind draw,
+/// proposal geometry, acceptance uniform). Rather than letting each draw
+/// individually hit `BatchedRng`'s empty-buffer refill at an arbitrary
+/// point of the hot loop, the sampler tops the stream up to a full block
+/// once per [`ProposalBatch::STEPS`] iterations — one compacting burst
+/// that preserves the delivered word sequence exactly (see
+/// [`BatchedRng::top_up`]), so clone/rewind snapshots (the speculative
+/// engine's replay machinery), cancellation points and same-seed
+/// determinism are all untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProposalBatch {
+    steps_left: u32,
+}
+
+impl ProposalBatch {
+    /// Iterations served per burst. A full 64-word block covers eight
+    /// iterations of worst-case draws (≈8 words each), so a mid-batch
+    /// refill is rare.
+    pub const STEPS: u32 = 8;
+
+    /// Accounts one iteration; true when a fresh burst must be pre-drawn.
+    #[inline]
+    fn begin_step(&mut self) -> bool {
+        if self.steps_left == 0 {
+            self.steps_left = Self::STEPS - 1;
+            crate::perf::record_proposal_batch();
+            return true;
+        }
+        self.steps_left -= 1;
+        false
+    }
+}
+
 /// A sequential RJMCMC sampler over circle configurations.
 #[derive(Debug, Clone)]
 pub struct Sampler<'m> {
     model: &'m NucleiModel,
     /// The chain state (public so drivers can partition/merge it).
     pub config: Configuration,
-    /// Deterministic RNG stream.
-    pub rng: Xoshiro256,
+    /// Deterministic RNG stream, buffered so the proposal stream is drawn
+    /// in refill-amortised bursts (the delivered word sequence is the raw
+    /// xoshiro stream — see [`BatchedRng`]).
+    pub rng: BatchedRng<Xoshiro256>,
+    batch: ProposalBatch,
+    /// Reusable proposal buffer: [`propose_into`] writes every iteration's
+    /// proposal here, so the steady-state iteration loop never allocates.
+    scratch: Proposal,
     weights: MoveWeights,
     /// Acceptance accounting.
     pub stats: AcceptanceStats,
@@ -133,7 +176,9 @@ impl<'m> Sampler<'m> {
         Self {
             model,
             config,
-            rng,
+            rng: BatchedRng::new(rng),
+            batch: ProposalBatch::default(),
+            scratch: Proposal::scratch(),
             weights: MoveWeights::default(),
             stats: AcceptanceStats::new(),
             beta: 1.0,
@@ -173,15 +218,25 @@ impl<'m> Sampler<'m> {
     /// Performs one MCMC iteration.
     pub fn step(&mut self) -> StepResult {
         self.iterations += 1;
+        if self.batch.begin_step() {
+            // Pre-draw the burst's randomness in one compacting top-up.
+            self.rng.top_up();
+        }
         let kind = self.weights.sample(&mut self.rng);
-        let Some(proposal) = propose(kind, &self.config, self.model, &self.weights, &mut self.rng)
-        else {
+        if !propose_into(
+            &mut self.scratch,
+            kind,
+            &self.config,
+            self.model,
+            &self.weights,
+            &mut self.rng,
+        ) {
             self.stats.record_invalid(kind);
             return StepResult {
                 kind,
                 accepted: false,
             };
-        };
+        }
 
         // Draw the acceptance uniform *before* evaluating, unconditionally.
         // This keeps RNG consumption a function of the proposal draw alone
@@ -189,11 +244,11 @@ impl<'m> Sampler<'m> {
         // speculative engine pre-draw per-lane streams and replay the
         // sequential chain bit-for-bit.
         let log_u = self.rng.gen::<f64>().ln();
-        let eval = evaluate_proposal(&self.config, self.model, &proposal);
+        let eval = evaluate_proposal(&self.config, self.model, &self.scratch);
         let log_alpha = eval.log_alpha(self.beta);
         let accept = log_alpha >= 0.0 || log_u < log_alpha;
         if accept {
-            self.config.apply(&proposal.edit, self.model);
+            self.config.apply(&self.scratch.edit, self.model);
             self.stats.record_accept(kind);
         } else {
             self.stats.record_reject(kind);

@@ -9,10 +9,10 @@
 //! detections are "disputable" — kept or discarded by policy.
 
 use crate::job::{RunCtx, RunError};
-use crate::subchain::{run_partition_chain_ctx, SubChainOptions, SubChainResult};
+use crate::subchain::{run_partition_chain_shared_ctx, SubChainOptions, SubChainResult};
 use pmcmc_core::rng::derive_seed;
 use pmcmc_core::spatial::SpatialGrid;
-use pmcmc_core::ModelParams;
+use pmcmc_core::{ModelParams, NucleiModel};
 use pmcmc_imaging::{regular_tiles, Circle, GrayImage, Rect};
 use pmcmc_runtime::WorkerPool;
 use std::time::{Duration, Instant};
@@ -136,6 +136,11 @@ pub fn run_blind_ctx(
 
     let t0 = Instant::now();
     ctx.phase("chains");
+    // One full-image model shared across partitions: each chain derives
+    // its sub-model by row-copying the gain tables ([`NucleiModel::crop`],
+    // bit-identical to a per-partition rebuild).
+    let full = NucleiModel::new(img, base.clone());
+    let full = &full;
     let progress = ctx.partition_progress(extended.len() as u64);
     let tasks: Vec<(f64, _)> = extended
         .iter()
@@ -144,10 +149,10 @@ pub fn run_blind_ctx(
             let weight = ext.area() as f64;
             let progress = &progress;
             let task = move || {
-                let res = run_partition_chain_ctx(
+                let res = run_partition_chain_shared_ctx(
+                    full,
                     img,
                     ext,
-                    base,
                     &opts.chain,
                     derive_seed(seed, i as u64),
                     ctx,

@@ -9,9 +9,9 @@
 //! because the pre-processor guarantees the partitions don't interact.
 
 use crate::job::{RunCtx, RunError};
-use crate::subchain::{run_partition_chain_ctx, SubChainOptions, SubChainResult};
+use crate::subchain::{run_partition_chain_shared_ctx, SubChainOptions, SubChainResult};
 use pmcmc_core::rng::derive_seed;
-use pmcmc_core::ModelParams;
+use pmcmc_core::{ModelParams, NucleiModel};
 use pmcmc_imaging::filter::threshold;
 use pmcmc_imaging::{Circle, GrayImage, Mask, Rect};
 use pmcmc_runtime::WorkerPool;
@@ -180,6 +180,11 @@ pub fn run_intelligent_ctx(
 
     let t1 = Instant::now();
     ctx.phase("chains");
+    // One full-image model shared across partitions: each chain derives
+    // its sub-model by row-copying the gain tables ([`NucleiModel::crop`],
+    // bit-identical to a per-partition rebuild).
+    let full = NucleiModel::new(img, base.clone());
+    let full = &full;
     let progress = ctx.partition_progress(rects.len() as u64);
     // Weight tasks by thresholded pixel count (proxy for chain cost) so the
     // pool's LPT ordering load-balances when partitions outnumber threads.
@@ -190,10 +195,10 @@ pub fn run_intelligent_ctx(
             let weight = mask.count_ones_in(&rect) as f64 + 1.0;
             let progress = &progress;
             let task = move || {
-                let res = run_partition_chain_ctx(
+                let res = run_partition_chain_shared_ctx(
+                    full,
                     img,
                     rect,
-                    base,
                     opts,
                     derive_seed(seed, i as u64),
                     ctx,

@@ -686,10 +686,11 @@ mod tests {
     /// this test fails, the wire format changed — bump
     /// [`pmcmc_runtime::wire::WIRE_VERSION`] and add a new golden vector
     /// instead of editing these. (v2 widened `PerfSnapshot` with the
-    /// span-kernel counters; the payload encodings here are unchanged
-    /// since v1.)
+    /// span-kernel counters; v3 appended its lane-kernel and
+    /// proposal-batch counters; the other payload encodings here are
+    /// unchanged since v1.)
     #[test]
-    fn golden_bytes_v2() {
+    fn golden_bytes_v3() {
         // A sequential spec is a single tag byte.
         assert_eq!(StrategySpec::Sequential.to_wire_bytes(), vec![0]);
 
@@ -715,17 +716,38 @@ mod tests {
         };
         assert_eq!(cancelled.to_wire_bytes(), vec![2, 7, 0, 0, 0, 0, 0, 0, 0]);
 
-        // A whole v2 frame around that error payload: magic "PM",
-        // version 2, kind Result=4, little-endian length, payload.
+        // A whole v3 frame around that error payload: magic "PM",
+        // version 3, kind Result=4, little-endian length, payload.
         let mut frame = Vec::new();
         write_frame(&mut frame, FrameKind::Result, &cancelled.to_wire_bytes()).unwrap();
         assert_eq!(
             frame,
             vec![
-                b'P', b'M', 2, 4, 9, 0, 0, 0, // header
+                b'P', b'M', 3, 4, 9, 0, 0, 0, // header
                 2, 7, 0, 0, 0, 0, 0, 0, 0, // payload
             ]
         );
+
+        // A v3 PerfSnapshot payload: eleven little-endian u64 counters in
+        // declaration order, the two v3 additions appended last.
+        let perf = pmcmc_core::PerfSnapshot {
+            proposals_evaluated: 1,
+            pixels_visited: 2,
+            pair_count_queries: 3,
+            pair_cache_hits: 4,
+            rng_refills: 5,
+            spin_wait_ns: 6,
+            spec_rounds: 7,
+            span_fastpath_hits: 8,
+            pixels_skipped: 9,
+            simd_lanes_processed: 10,
+            proposal_batches: 11,
+        };
+        let mut expect = Vec::new();
+        for v in 1u64..=11 {
+            expect.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(perf.to_wire_bytes(), expect);
 
         // A 2×1 image: dims + f32 bit patterns.
         let img = GrayImage::from_vec(2, 1, vec![0.5, -1.0]);

@@ -13,9 +13,9 @@
 //! partitioning on the same scenes.
 
 use crate::job::{RunCtx, RunError};
-use crate::subchain::{run_partition_chain_ctx, SubChainOptions, SubChainResult};
+use crate::subchain::{run_partition_chain_shared_ctx, SubChainOptions, SubChainResult};
 use pmcmc_core::rng::derive_seed;
-use pmcmc_core::ModelParams;
+use pmcmc_core::{ModelParams, NucleiModel};
 use pmcmc_imaging::{regular_tiles, Circle, GrayImage};
 use pmcmc_runtime::WorkerPool;
 use std::time::{Duration, Instant};
@@ -99,6 +99,11 @@ pub fn run_naive_ctx(
     let n = tiles.len();
     let t0 = Instant::now();
     ctx.phase("chains");
+    // One full-image model shared across partitions: each chain derives
+    // its sub-model by row-copying the gain tables ([`NucleiModel::crop`],
+    // bit-identical to a per-partition rebuild).
+    let full = NucleiModel::new(img, base.clone());
+    let full = &full;
     let progress = ctx.partition_progress(tiles.len() as u64);
     let tasks: Vec<(f64, _)> = tiles
         .iter()
@@ -107,25 +112,20 @@ pub fn run_naive_ctx(
             let weight = rect.area() as f64;
             let progress = &progress;
             let task = move || {
-                let mut res = run_partition_chain_ctx(
+                let mut res = run_partition_chain_shared_ctx(
+                    full,
                     img,
                     rect,
-                    base,
                     &opts.chain,
                     derive_seed(seed, i as u64),
                     ctx,
                 );
                 if opts.prior == NaivePrior::UniformSplit {
                     // Re-run with the misallocated prior: the point of this
-                    // branch is to reproduce the failure mode, so we build
-                    // the sub-model by hand.
-                    let crop = img.crop(&rect);
-                    let mut params = base.clone();
-                    params.width = crop.width();
-                    params.height = crop.height();
-                    params.expected_count = (base.expected_count / n as f64).max(0.05);
-                    let split_expected = params.expected_count;
-                    let model = pmcmc_core::NucleiModel::new(&crop, params);
+                    // branch is to reproduce the failure mode — the uniform
+                    // `λ/n` split replaces the eq. (5) estimate.
+                    let split_expected = (base.expected_count / n as f64).max(0.05);
+                    let model = full.crop(&rect, split_expected);
                     let mut sampler =
                         pmcmc_core::Sampler::new_empty(&model, derive_seed(seed, 100 + i as u64));
                     let budget = res.iterations.max(5_000);

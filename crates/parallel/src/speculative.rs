@@ -197,6 +197,11 @@ impl SpeculativeEngine {
         stats: &mut AcceptanceStats,
     ) -> u64 {
         let members = self.team.members();
+        // The round's pre-draws are one proposal burst: refill the RNG
+        // buffer in a single amortised top-up (stream-preserving, so the
+        // lane snapshots and the sequential trace are unaffected).
+        self.rng.top_up();
+        pmcmc_core::perf::record_proposal_batch();
         self.lanes.clear();
         for _ in 0..members {
             let kind = weights.sample(&mut self.rng);

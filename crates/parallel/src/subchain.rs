@@ -126,9 +126,46 @@ pub fn run_partition_chain_ctx(
     params.height = crop.height();
     params.expected_count = expected;
     let model = NucleiModel::new(&crop, params);
+    run_chain_on_model(&model, rect, expected, thresholded_pixels, opts, seed, ctx)
+}
 
+/// Runs like [`run_partition_chain_ctx`] but derives the partition's
+/// sub-model from a prebuilt full-image model via [`NucleiModel::crop`]:
+/// the gain tables are row-copied instead of recomputed from pixels, which
+/// is bit-identical to the from-scratch build (and so yields the same
+/// chain), and the per-partition setup cost drops from per-pixel gain math
+/// to a memcpy. The eq. (5) prior estimate is still taken from the
+/// thresholded crop — partitions never inherit the full image's
+/// `expected_count`.
+#[must_use]
+pub fn run_partition_chain_shared_ctx(
+    full: &NucleiModel,
+    img: &GrayImage,
+    rect: Rect,
+    opts: &SubChainOptions,
+    seed: u64,
+    ctx: &crate::job::RunCtx,
+) -> SubChainResult {
+    let rect = rect.intersect(&img.frame());
+    let crop = img.crop(&rect);
+    let mask = threshold(&crop, opts.theta);
+    let thresholded_pixels = mask.count_ones();
+    let expected = eq5_estimate(thresholded_pixels, full.params.radius_prior.mu).max(0.05);
+    let model = full.crop(&rect, expected);
+    run_chain_on_model(&model, rect, expected, thresholded_pixels, opts, seed, ctx)
+}
+
+fn run_chain_on_model(
+    model: &NucleiModel,
+    rect: Rect,
+    expected: f64,
+    thresholded_pixels: usize,
+    opts: &SubChainOptions,
+    seed: u64,
+    ctx: &crate::job::RunCtx,
+) -> SubChainResult {
     let start = Instant::now();
-    let mut sampler = Sampler::new_empty(&model, seed);
+    let mut sampler = Sampler::new_empty(model, seed);
     let mut detector = ConvergenceDetector::new(opts.conv_window, opts.conv_tol);
     let mut converged_at = None;
     while sampler.iterations() < opts.max_iters && !ctx.stopped() {

@@ -34,8 +34,10 @@ use std::time::Duration;
 /// The current wire-format version, stamped into every frame header.
 ///
 /// v2 extended [`PerfSnapshot`] with the span-kernel counters
-/// (`span_fastpath_hits`, `pixels_skipped`).
-pub const WIRE_VERSION: u8 = 2;
+/// (`span_fastpath_hits`, `pixels_skipped`); v3 appended the lane-kernel
+/// and proposal-batch counters (`simd_lanes_processed`,
+/// `proposal_batches`).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Frame magic: the first two bytes of every frame.
 pub const MAGIC: [u8; 2] = *b"PM";
@@ -530,6 +532,8 @@ impl Wire for PerfSnapshot {
         w.u64(self.spec_rounds);
         w.u64(self.span_fastpath_hits);
         w.u64(self.pixels_skipped);
+        w.u64(self.simd_lanes_processed);
+        w.u64(self.proposal_batches);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -543,6 +547,8 @@ impl Wire for PerfSnapshot {
             spec_rounds: r.u64()?,
             span_fastpath_hits: r.u64()?,
             pixels_skipped: r.u64()?,
+            simd_lanes_processed: r.u64()?,
+            proposal_batches: r.u64()?,
         })
     }
 }
@@ -763,6 +769,8 @@ mod tests {
             spec_rounds: 7,
             span_fastpath_hits: 8,
             pixels_skipped: 9,
+            simd_lanes_processed: 10,
+            proposal_batches: 11,
         };
         assert_eq!(
             PerfSnapshot::from_wire_bytes(&perf.to_wire_bytes()).unwrap(),

@@ -214,6 +214,51 @@ fn same_seed_job_specs_produce_byte_identical_reports() {
 }
 
 #[test]
+fn forced_scalar_and_simd_paths_give_byte_identical_reports() {
+    use pmcmc::core::simd::{backend, force_backend, Backend};
+    // The lane kernels compute masks only and accumulate gains in the
+    // same scalar order as the fallback, so flipping the backend must not
+    // perturb a single bit of any strategy's report. (On hosts without
+    // AVX2 both runs take the scalar path and the test is vacuous but
+    // still valid.)
+    let (_, truth, img) = model();
+    let params = ModelParams::new(160, 160, truth.len() as f64, 8.0);
+    let engine = Engine::new(3).expect("worker count is positive");
+    let detected = backend();
+    for strategy in [
+        "sequential",
+        "periodic",
+        "speculative",
+        "mc3",
+        "intelligent",
+        "blind",
+        "naive",
+    ] {
+        let run = |b: Backend| {
+            force_backend(b);
+            let spec: StrategySpec = strategy.parse().expect("registered name");
+            let report = engine
+                .submit(
+                    JobSpec::new(spec, img.clone(), params.clone())
+                        .seed(61)
+                        .iterations(6_000),
+                )
+                .expect("spec validates")
+                .wait()
+                .expect("job completes");
+            report_fingerprint(&report)
+        };
+        let scalar = run(Backend::Scalar);
+        let vector = run(Backend::Avx2);
+        force_backend(detected);
+        assert_eq!(
+            scalar, vector,
+            "{strategy} report differs between scalar and vector kernels"
+        );
+    }
+}
+
+#[test]
 fn different_seeds_give_different_chains() {
     let (m, _, _) = model();
     let mut a = Sampler::new(&m, 1);
