@@ -1,0 +1,223 @@
+//! Typed view of `analysis.toml` — lint severities, scopes and
+//! allowlists. Every allow entry carries a mandatory `reason`, so the
+//! config file doubles as the audit trail for each accepted exception.
+
+use crate::diag::Severity;
+use crate::toml::{self, Table, Value};
+
+/// One allowlist entry: a finding is suppressed when its file matches
+/// `file` and (if `contains` is set) the finding's source line contains
+/// the snippet.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Workspace-relative file path the entry applies to.
+    pub file: String,
+    /// Optional source-line snippet narrowing the entry to specific
+    /// sites; an empty string allows the whole file.
+    pub contains: String,
+    /// Mandatory justification (enforced at config load).
+    pub reason: String,
+}
+
+impl Allow {
+    /// True when a finding at `file`:`line_text` is covered.
+    #[must_use]
+    pub fn matches(&self, file: &str, line_text: &str) -> bool {
+        file == self.file && (self.contains.is_empty() || line_text.contains(&self.contains))
+    }
+}
+
+/// One determinism scope: a set of path prefixes and the identifiers
+/// banned inside them.
+#[derive(Debug, Clone)]
+pub struct DeterminismScope {
+    /// Workspace-relative path prefixes (a file is in scope when its
+    /// path starts with any of them).
+    pub paths: Vec<String>,
+    /// Identifier tokens banned in the scope.
+    pub ban: Vec<String>,
+}
+
+/// The whole configuration.
+#[derive(Debug)]
+pub struct Config {
+    /// Path prefixes excluded from every lint.
+    pub skip: Vec<String>,
+    /// Per-lint severities (missing ⇒ `error`).
+    severities: Vec<(String, Severity)>,
+    /// Determinism scopes.
+    pub determinism_scopes: Vec<DeterminismScope>,
+    /// Determinism allowlist.
+    pub determinism_allow: Vec<Allow>,
+    /// Atomics allowlist (`Relaxed` sites).
+    pub atomics_allow: Vec<Allow>,
+    /// Files under the panic audit.
+    pub panic_paths: Vec<String>,
+    /// Panic-audit allowlist.
+    pub panic_allow: Vec<Allow>,
+    /// Unsafe-audit allowlist (normally empty: write the SAFETY comment).
+    pub unsafe_allow: Vec<Allow>,
+    /// Files whose encoder regions the wire guard fingerprints.
+    pub wire_files: Vec<String>,
+    /// Workspace-relative path of the generated fingerprint manifest.
+    pub wire_manifest: String,
+    /// File declaring `WIRE_VERSION`.
+    pub wire_version_source: String,
+}
+
+/// Configuration problems worth failing the run over.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "analysis.toml: {}", self.0)
+    }
+}
+
+impl Config {
+    /// Effective severity for `lint` (default [`Severity::Error`]).
+    #[must_use]
+    pub fn severity(&self, lint: &str) -> Severity {
+        self.severities
+            .iter()
+            .find(|(name, _)| name == lint)
+            .map_or(Severity::Error, |(_, s)| *s)
+    }
+
+    /// Parses the contents of `analysis.toml`.
+    ///
+    /// # Errors
+    /// [`ConfigError`] on syntax errors, unknown severities, or allow
+    /// entries missing a reason.
+    pub fn parse(src: &str) -> Result<Self, ConfigError> {
+        let doc = toml::parse(src).map_err(|e| ConfigError(e.to_string()))?;
+
+        let mut severities = Vec::new();
+        if let Some(lints) = doc.table("lints") {
+            for (name, value) in lints {
+                let text = value
+                    .as_str()
+                    .ok_or_else(|| ConfigError(format!("[lints] {name} must be a string")))?;
+                let sev = Severity::parse(text).ok_or_else(|| {
+                    ConfigError(format!(
+                        "[lints] {name}: unknown severity `{text}` (error|warn|off)"
+                    ))
+                })?;
+                severities.push((name.clone(), sev));
+            }
+        }
+
+        let skip = string_list(doc.table("workspace"), "skip");
+
+        let mut determinism_scopes = Vec::new();
+        for scope in doc.tables("determinism.scope") {
+            determinism_scopes.push(DeterminismScope {
+                paths: table_list(scope, "paths"),
+                ban: table_list(scope, "ban"),
+            });
+        }
+
+        let wire = doc.table("wire_guard");
+        let config = Self {
+            skip,
+            severities,
+            determinism_scopes,
+            determinism_allow: allows(&doc, "determinism.allow")?,
+            atomics_allow: allows(&doc, "atomics.allow")?,
+            panic_paths: string_list(doc.table("panic_audit"), "paths"),
+            panic_allow: allows(&doc, "panic_audit.allow")?,
+            unsafe_allow: allows(&doc, "unsafe_audit.allow")?,
+            wire_files: string_list(wire, "files"),
+            wire_manifest: wire
+                .and_then(|t| t.get("manifest"))
+                .and_then(Value::as_str)
+                .unwrap_or("crates/analysis/wire.manifest.toml")
+                .to_owned(),
+            wire_version_source: wire
+                .and_then(|t| t.get("version_source"))
+                .and_then(Value::as_str)
+                .unwrap_or("crates/runtime/src/wire.rs")
+                .to_owned(),
+        };
+        Ok(config)
+    }
+}
+
+fn string_list(table: Option<&Table>, key: &str) -> Vec<String> {
+    table
+        .and_then(|t| t.get(key))
+        .and_then(Value::as_list)
+        .map(<[String]>::to_vec)
+        .unwrap_or_default()
+}
+
+fn table_list(table: &Table, key: &str) -> Vec<String> {
+    table
+        .get(key)
+        .and_then(Value::as_list)
+        .map(<[String]>::to_vec)
+        .unwrap_or_default()
+}
+
+fn allows(doc: &toml::Document, header: &str) -> Result<Vec<Allow>, ConfigError> {
+    let mut out = Vec::new();
+    for table in doc.tables(header) {
+        let file = table
+            .get("file")
+            .and_then(Value::as_str)
+            .ok_or_else(|| ConfigError(format!("[[{header}]] entry is missing `file`")))?
+            .to_owned();
+        let reason = table
+            .get("reason")
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .trim()
+            .to_owned();
+        if reason.is_empty() {
+            return Err(ConfigError(format!(
+                "[[{header}]] entry for `{file}` needs a non-empty `reason`"
+            )));
+        }
+        out.push(Allow {
+            file,
+            contains: table
+                .get("contains")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            reason,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_entries_require_reasons() {
+        let err = Config::parse(
+            r#"
+[[atomics.allow]]
+file = "x.rs"
+contains = "Relaxed"
+"#,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn severities_parse_and_default() {
+        let cfg = Config::parse(
+            r#"
+[lints]
+determinism = "warn"
+"#,
+        )
+        .expect("parses");
+        assert_eq!(cfg.severity("determinism"), Severity::Warn);
+        assert_eq!(cfg.severity("unsafe-audit"), Severity::Error);
+    }
+}

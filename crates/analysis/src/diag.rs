@@ -1,0 +1,61 @@
+//! Findings and severities — the output side of the analysis pass.
+
+use std::fmt;
+
+/// How a lint's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Finding fails the `check` run (non-zero exit).
+    Error,
+    /// Finding is printed but does not fail the run.
+    Warn,
+    /// Lint is disabled.
+    Off,
+}
+
+impl Severity {
+    /// Parses the `analysis.toml` spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "error" => Some(Self::Error),
+            "warn" => Some(Self::Warn),
+            "off" => Some(Self::Off),
+            _ => None,
+        }
+    }
+}
+
+/// One diagnostic from one lint.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lint slug (`unsafe-audit`, `determinism`, …).
+    pub lint: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line (0 for file-level findings).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Effective severity (already resolved against the config).
+    pub severity: Severity,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = match self.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+            Severity::Off => "off",
+        };
+        if self.line == 0 {
+            write!(f, "{level}[{}] {}: {}", self.lint, self.file, self.message)
+        } else {
+            write!(
+                f,
+                "{level}[{}] {}:{}: {}",
+                self.lint, self.file, self.line, self.message
+            )
+        }
+    }
+}

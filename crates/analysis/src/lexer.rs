@@ -1,0 +1,412 @@
+//! A lightweight, comment- and string-aware Rust token scanner.
+//!
+//! This is not a parser: the lints only need a faithful token stream —
+//! identifiers, punctuation, literals and comments, each tagged with the
+//! line it starts (and ends) on. What *is* load-bearing is that the
+//! scanner never mistakes the contents of a string, raw string, char
+//! literal or (nested) block comment for code: the word `unsafe` inside
+//! `r#"…unsafe…"#` or `/* /* unsafe */ */` must not trip the unsafe
+//! audit. The edge cases that make naive scanners misfire are covered by
+//! fixture tests (`tests/fixtures/lexer_edgecases.rs`).
+
+/// Token classification, as coarse as the lints need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`unsafe`, `Relaxed`, `fn`, …).
+    Ident,
+    /// Single punctuation character (`::` is two `Punct(':')` tokens).
+    Punct,
+    /// String / raw string / byte string / char / numeric literal, raw
+    /// source text preserved (golden-byte vectors fingerprint through it).
+    Literal,
+    /// Lifetime such as `'env` (distinguished from char literals).
+    Lifetime,
+    /// Line or block comment, delimiters included in `text`.
+    Comment,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Coarse classification.
+    pub kind: Kind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line the token ends on (differs from `line` only for
+    /// block comments and multi-line string literals).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// True for non-comment tokens (the "code" stream the lints walk).
+    #[must_use]
+    pub fn is_code(&self) -> bool {
+        self.kind != Kind::Comment
+    }
+}
+
+/// Scans `src` into a token stream. Unterminated strings/comments are
+/// tolerated (the remainder becomes one token): the lints run on code
+/// that `rustc` already accepted, so recovery niceties are not needed.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(0, false),
+                '\'' => self.char_or_lifetime(),
+                _ if is_ident_start(c) => self.ident_or_prefixed(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(Kind::Punct, c.to_string(), line, line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32, end_line: u32) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line,
+            end_line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Kind::Comment, text, line, line);
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let end = self.line;
+        self.push(Kind::Comment, text, line, end);
+    }
+
+    /// String literal body, starting at the opening quote. `raw` strings
+    /// take no backslash escapes; a raw string with `hashes` > 0 only
+    /// closes on `"` followed by that many `#`s.
+    fn string(&mut self, hashes: usize, raw: bool) {
+        let line = self.line;
+        let mut text = String::new();
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.peek(0) {
+            if !raw && c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
+            } else if c == '"' {
+                text.push(c);
+                self.bump();
+                if hashes == 0 {
+                    break;
+                }
+                // Raw string: the quote only closes with its `#` tail.
+                let tail: usize = (0..hashes)
+                    .take_while(|&k| self.peek(k) == Some('#'))
+                    .count();
+                if tail == hashes {
+                    for _ in 0..hashes {
+                        text.push('#');
+                        self.bump();
+                    }
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        let end = self.line;
+        self.push(Kind::Literal, text, line, end);
+    }
+
+    /// `'x'` / `'\n'` char literals vs `'env` lifetimes.
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        if self.peek(1) == Some('\\') {
+            // Escaped char literal: '\x', '\u{..}', '\'' …
+            let mut text = String::new();
+            text.push('\'');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                text.push(c);
+                self.bump();
+                if c == '\\' {
+                    // The escaped character is never the closing quote.
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(Kind::Literal, text, line, line);
+            return;
+        }
+        // `'` then ident chars: lifetime unless a closing `'` follows.
+        let mut idx = 1usize;
+        while self.peek(idx).is_some_and(is_ident_continue) {
+            idx += 1;
+        }
+        if idx > 1 && self.peek(idx) == Some('\'') {
+            // Char literal like 'a' (or the degenerate multi-char case,
+            // which rustc rejects anyway — classify, don't validate).
+            let mut text = String::new();
+            for _ in 0..=idx {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            self.push(Kind::Literal, text, line, line);
+        } else if idx == 1 && self.peek(1).is_some() && self.peek(2) == Some('\'') {
+            // Single non-ident char like '"' or '('.
+            let mut text = String::new();
+            for _ in 0..3 {
+                if let Some(c) = self.bump() {
+                    text.push(c);
+                }
+            }
+            self.push(Kind::Literal, text, line, line);
+        } else {
+            // Lifetime (or a stray quote): consume `'` + ident chars.
+            let mut text = String::new();
+            text.push('\'');
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                text.push(self.bump().expect("peeked"));
+            }
+            self.push(Kind::Lifetime, text, line, line);
+        }
+    }
+
+    /// Identifier, or a string with an `r`/`b`/`br` prefix, or a raw
+    /// identifier `r#name`.
+    fn ident_or_prefixed(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().expect("peeked"));
+        }
+        let raw_capable = matches!(text.as_str(), "r" | "br");
+        let byte_capable = matches!(text.as_str(), "b" | "br");
+        // `r"…"`, `b"…"`, `br"…"`: the ident was a literal prefix.
+        if (raw_capable || byte_capable) && self.peek(0) == Some('"') {
+            self.string(0, raw_capable);
+            let lit = self.tokens.pop().expect("string pushed");
+            self.push(
+                Kind::Literal,
+                format!("{text}{}", lit.text),
+                line,
+                lit.end_line,
+            );
+            return;
+        }
+        if raw_capable && self.peek(0) == Some('#') {
+            let hashes = (0..).take_while(|&k| self.peek(k) == Some('#')).count();
+            if self.peek(hashes) == Some('"') {
+                // Raw string `r#"…"#` (any number of hashes).
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.string(hashes, true);
+                let lit = self.tokens.pop().expect("string pushed");
+                self.push(
+                    Kind::Literal,
+                    format!("{text}{}{}", "#".repeat(hashes), lit.text),
+                    line,
+                    lit.end_line,
+                );
+                return;
+            }
+            if text == "r" && hashes == 1 && self.peek(1).is_some_and(is_ident_start) {
+                // Raw identifier `r#fn`.
+                self.bump(); // '#'
+                let mut name = String::from("r#");
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    name.push(self.bump().expect("peeked"));
+                }
+                self.push(Kind::Ident, name, line, line);
+                return;
+            }
+        }
+        self.push(Kind::Ident, text, line, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // Float continuation — but not `1..2` ranges or `1.max()`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Kind::Literal, text, line, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "unsafe { }";"#), vec!["let", "s"]);
+        assert_eq!(idents(r#"let s = "escaped \" unsafe";"#), vec!["let", "s"]);
+        assert_eq!(idents("let s = r#\"raw unsafe\"#;"), vec!["let", "s"]);
+        assert_eq!(idents("let s = b\"bytes unsafe\";"), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = lex("a /* x /* unsafe */ y */ b");
+        let kinds: Vec<Kind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![Kind::Ident, Kind::Comment, Kind::Ident]);
+        assert!(toks[1].text.contains("unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'env>(x: &'env str) { let c = 'x'; let q = '\\''; }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'env", "'env"]);
+        let literals: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(literals, vec!["'x'", "'\\''"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n/* two\nlines */\nc");
+        let a = &toks[0];
+        let c = toks.last().expect("c token");
+        assert_eq!((a.line, a.end_line), (1, 1));
+        let comment = toks
+            .iter()
+            .find(|t| t.kind == Kind::Comment)
+            .expect("comment");
+        assert_eq!((comment.line, comment.end_line), (3, 4));
+        assert_eq!(c.line, 5);
+    }
+
+    #[test]
+    fn raw_identifiers_stay_idents() {
+        assert_eq!(idents("let r#fn = 1;"), vec!["let", "r#fn"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let texts: Vec<String> = lex("1..2 1.5 1.max(2) 0x1F_u8")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert!(texts.contains(&"1.5".to_owned()));
+        assert!(texts.contains(&"max".to_owned()));
+        assert!(texts.contains(&"0x1F_u8".to_owned()));
+    }
+}

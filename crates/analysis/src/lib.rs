@@ -1,0 +1,243 @@
+//! # pmcmc-analysis
+//!
+//! Repo-specific static analysis for the `pmcmc` workspace, run as
+//! `cargo run -p pmcmc-analysis -- check` (a CI gate) and configured by
+//! `analysis.toml` at the repo root.
+//!
+//! The workspace rests on invariants `rustc` cannot check: byte-identical
+//! replay across scalar/AVX2 backends and across `Sampler` vs the
+//! speculative engine, Release/Acquire publication through the
+//! `UnsafeCell` slots in `team.rs`/`speculative.rs`, and a versioned wire
+//! format whose golden bytes must move in lockstep with its encoders.
+//! Five lints encode them (see [`lints`]):
+//!
+//! 1. **unsafe-audit** — every `unsafe` site carries a `// SAFETY:`
+//!    justification;
+//! 2. **determinism** — wall clocks, ambient RNGs and hash-iteration are
+//!    banned in the sampling paths;
+//! 3. **atomics** — `Ordering::Relaxed` only on allowlisted counters;
+//! 4. **wire-format** — encoder fingerprints must move together with
+//!    `WIRE_VERSION` and the golden-bytes tests;
+//! 5. **panic-audit** — no `unwrap()`/`expect()` in the long-running
+//!    daemon/backend paths.
+//!
+//! Everything is built on a small comment/string-aware token scanner
+//! ([`lexer`]) and a minimal TOML-subset reader ([`toml`]) — no
+//! dependencies, consistent with the offline `crates/compat` policy.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod lints;
+pub mod source;
+pub mod toml;
+pub mod workspace;
+
+use config::Config;
+use diag::{Finding, Severity};
+use lints::wire_guard::{self, FileFingerprint, Manifest};
+use lints::AllowTracker;
+use source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The result of one `check` run.
+pub struct CheckOutcome {
+    /// All findings, file-ordered (errors and warnings).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl CheckOutcome {
+    /// Number of error-severity findings (non-zero fails the run).
+    #[must_use]
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+}
+
+/// Loads `analysis.toml` from `root`.
+///
+/// # Errors
+/// I/O failures or configuration errors, rendered as `io::Error`.
+pub fn load_config(root: &Path) -> io::Result<Config> {
+    let src = fs::read_to_string(root.join("analysis.toml"))?;
+    Config::parse(&src).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Runs every configured lint over the workspace at `root`. When
+/// `fix_manifest` is set, the wire-fingerprint manifest is rewritten to
+/// match the current sources instead of being checked against them.
+///
+/// # Errors
+/// Propagates file-system failures (unreadable sources, unwritable
+/// manifest). Lint findings are *not* errors at this level — they are
+/// returned in the outcome.
+pub fn run_check(root: &Path, cfg: &Config, fix_manifest: bool) -> io::Result<CheckOutcome> {
+    let paths = workspace::collect_sources(root, &cfg.skip)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in &paths {
+        let src = fs::read_to_string(root.join(rel))?;
+        files.push(SourceFile::new(rel.clone(), &src));
+    }
+
+    let mut findings = Vec::new();
+    let mut unsafe_allow = AllowTracker::new(&cfg.unsafe_allow);
+    let mut det_allow = AllowTracker::new(&cfg.determinism_allow);
+    let mut atomics_allow = AllowTracker::new(&cfg.atomics_allow);
+    let mut panic_allow = AllowTracker::new(&cfg.panic_allow);
+
+    let sev = |lint: &str| cfg.severity(lint);
+    for file in &files {
+        if sev(lints::unsafe_audit::LINT) != Severity::Off {
+            findings.extend(lints::unsafe_audit::run(
+                file,
+                &mut unsafe_allow,
+                sev(lints::unsafe_audit::LINT),
+            ));
+        }
+        if sev(lints::determinism::LINT) != Severity::Off {
+            findings.extend(lints::determinism::run(
+                file,
+                &cfg.determinism_scopes,
+                &mut det_allow,
+                sev(lints::determinism::LINT),
+            ));
+        }
+        if sev(lints::atomics::LINT) != Severity::Off {
+            findings.extend(lints::atomics::run(
+                file,
+                &mut atomics_allow,
+                sev(lints::atomics::LINT),
+            ));
+        }
+        if sev(lints::panic_audit::LINT) != Severity::Off {
+            findings.extend(lints::panic_audit::run(
+                file,
+                &cfg.panic_paths,
+                &mut panic_allow,
+                sev(lints::panic_audit::LINT),
+            ));
+        }
+    }
+
+    if sev(wire_guard::LINT) != Severity::Off {
+        findings.extend(run_wire_guard(root, cfg, &files, fix_manifest)?);
+    }
+
+    // Stale allowlist entries mask nothing but rot the audit trail.
+    for (lint, tracker) in [
+        (lints::unsafe_audit::LINT, &unsafe_allow),
+        (lints::determinism::LINT, &det_allow),
+        (lints::atomics::LINT, &atomics_allow),
+        (lints::panic_audit::LINT, &panic_allow),
+    ] {
+        for entry in tracker.unused() {
+            findings.push(Finding {
+                lint: "allowlist",
+                file: entry.file.clone(),
+                line: 0,
+                message: format!(
+                    "unused [[{lint}.allow]]-style entry (contains = \"{}\"): delete it or fix \
+                     the pattern",
+                    entry.contains
+                ),
+                severity: Severity::Warn,
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(CheckOutcome {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+fn run_wire_guard(
+    root: &Path,
+    cfg: &Config,
+    files: &[SourceFile],
+    fix_manifest: bool,
+) -> io::Result<Vec<Finding>> {
+    let severity = cfg.severity(wire_guard::LINT);
+    let mut findings = Vec::new();
+    let mut current = Vec::new();
+    for watched in &cfg.wire_files {
+        match files.iter().find(|f| &f.path == watched) {
+            Some(f) => current.push(wire_guard::fingerprint(f)),
+            None => findings.push(Finding {
+                lint: wire_guard::LINT,
+                file: watched.clone(),
+                line: 0,
+                message: "watched wire file is missing from the workspace".to_owned(),
+                severity,
+            }),
+        }
+    }
+    let declared = files
+        .iter()
+        .find(|f| f.path == cfg.wire_version_source)
+        .and_then(wire_guard::declared_wire_version);
+    let Some(declared) = declared else {
+        findings.push(Finding {
+            lint: wire_guard::LINT,
+            file: cfg.wire_version_source.clone(),
+            line: 0,
+            message: "could not find a `WIRE_VERSION: u8 = …` declaration".to_owned(),
+            severity,
+        });
+        return Ok(findings);
+    };
+
+    let manifest_path = root.join(&cfg.wire_manifest);
+    if fix_manifest {
+        let manifest = Manifest {
+            wire_version: declared,
+            files: current,
+        };
+        fs::write(&manifest_path, manifest.render())?;
+        return Ok(findings);
+    }
+
+    let manifest_src = fs::read_to_string(&manifest_path).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "cannot read wire manifest {} (generate it with `-- check --fix-manifest`): {e}",
+                cfg.wire_manifest
+            ),
+        )
+    })?;
+    match Manifest::parse(&manifest_src) {
+        Ok(manifest) => findings.extend(wire_guard::check(
+            &manifest,
+            &current,
+            declared,
+            &cfg.wire_version_source,
+            severity,
+        )),
+        Err(message) => findings.push(Finding {
+            lint: wire_guard::LINT,
+            file: cfg.wire_manifest.clone(),
+            line: 0,
+            message,
+            severity,
+        }),
+    }
+    Ok(findings)
+}
+
+/// Convenience used by the fingerprints in tests: lexes `src` at `path`
+/// and fingerprints it.
+#[must_use]
+pub fn fingerprint_source(path: &str, src: &str) -> FileFingerprint {
+    wire_guard::fingerprint(&SourceFile::new(path, src))
+}

@@ -1,0 +1,53 @@
+//! Lint 3 — atomics-ordering audit: `Ordering::Relaxed` is reserved for
+//! monotonic statistics counters. Any Relaxed load/store that publishes
+//! or consumes shared data (the `MapSlot` / `AcceptSlot` publication
+//! protocols in `team.rs` / `speculative.rs` depend on Release/Acquire
+//! pairs) is an error unless a `[[atomics.allow]]` entry names the exact
+//! site and justifies it.
+//!
+//! The lint fires on the identifier `Relaxed` so both spellings —
+//! `Ordering::Relaxed` and a `use … Ordering::Relaxed` import used
+//! bare — are caught.
+
+use super::{is_test_file, AllowTracker};
+use crate::diag::{Finding, Severity};
+use crate::lexer::Kind;
+use crate::source::SourceFile;
+
+/// Lint slug used in findings and `[lints]` configuration.
+pub const LINT: &str = "atomics";
+
+/// Runs the audit over one file.
+pub fn run(file: &SourceFile, allow: &mut AllowTracker<'_>, severity: Severity) -> Vec<Finding> {
+    if is_test_file(&file.path) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for tok in file.code_tokens() {
+        if tok.kind != Kind::Ident || tok.text != "Relaxed" {
+            continue;
+        }
+        if file.in_test_region(tok.line) {
+            continue;
+        }
+        // An import is not an ordering decision; the enabled bare-`Relaxed`
+        // usages are audited at their call sites.
+        if file.line_text(tok.line).trim_start().starts_with("use ") {
+            continue;
+        }
+        if allow.permits(&file.path, file.line_text(tok.line)) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: LINT,
+            file: file.path.clone(),
+            line: tok.line,
+            message: "`Ordering::Relaxed` outside the allowlist — Relaxed must not publish or \
+                      consume shared data; use Release/Acquire, or add a justified \
+                      [[atomics.allow]] entry for a pure counter"
+                .to_owned(),
+            severity,
+        });
+    }
+    findings
+}

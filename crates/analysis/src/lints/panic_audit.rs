@@ -1,0 +1,59 @@
+//! Lint 5 — panic audit: `.unwrap()` / `.expect(…)` are forbidden in the
+//! long-running daemon / backend / pool paths (`NodeDaemon`,
+//! `DistributedBackend`, `WorkerPool`): a panic there kills a node or
+//! poisons a coordinator instead of surfacing a typed `RunError` /
+//! `io::Error`. Test modules are exempt; the few justified residues
+//! (invariant-backed channel operations) are allowlisted in
+//! `analysis.toml` with a reason each.
+
+use super::{is_test_file, AllowTracker};
+use crate::diag::{Finding, Severity};
+use crate::lexer::Kind;
+use crate::source::SourceFile;
+
+/// Lint slug used in findings and `[lints]` configuration.
+pub const LINT: &str = "panic-audit";
+
+/// Runs the audit over one file if it is under a configured path.
+pub fn run(
+    file: &SourceFile,
+    paths: &[String],
+    allow: &mut AllowTracker<'_>,
+    severity: Severity,
+) -> Vec<Finding> {
+    if is_test_file(&file.path) || !paths.iter().any(|p| file.path.starts_with(p.as_str())) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    let code: Vec<_> = file.code_tokens().collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != Kind::Ident || !matches!(tok.text.as_str(), "unwrap" | "expect") {
+            continue;
+        }
+        // Only method calls: `.unwrap(` / `.expect(` — not identifiers
+        // that merely contain the words.
+        let is_call =
+            i > 0 && code[i - 1].text == "." && code.get(i + 1).is_some_and(|n| n.text == "(");
+        if !is_call {
+            continue;
+        }
+        if file.in_test_region(tok.line) {
+            continue;
+        }
+        if allow.permits(&file.path, file.line_text(tok.line)) {
+            continue;
+        }
+        findings.push(Finding {
+            lint: LINT,
+            file: file.path.clone(),
+            line: tok.line,
+            message: format!(
+                "`.{}()` in a long-running daemon/backend path — propagate a typed \
+                 `RunError`/`io::Error` instead (or allowlist with a reason)",
+                tok.text
+            ),
+            severity,
+        });
+    }
+    findings
+}

@@ -1,0 +1,87 @@
+//! Lint 1 — every `unsafe` block / fn / impl must carry a written
+//! justification: a `// SAFETY:` comment (or a `# Safety` doc section)
+//! in the comment block immediately above the site, or trailing on the
+//! same line.
+//!
+//! The search walks upward from the `unsafe` token, skipping attribute
+//! lines, blank lines and statement continuations, and stops at the
+//! first line that *ends* a previous statement (`;`, `{` or `}` as its
+//! last code token) — so a justification cannot leak from one unsafe
+//! site to the next.
+
+use super::AllowTracker;
+use crate::diag::{Finding, Severity};
+use crate::lexer::Kind;
+use crate::source::SourceFile;
+
+/// Lint slug used in findings and `[lints]` configuration.
+pub const LINT: &str = "unsafe-audit";
+
+/// How many lines above the `unsafe` token the justification may start
+/// (generous: multi-line SAFETY arguments plus attributes).
+const MAX_LOOKBACK: u32 = 30;
+
+/// Runs the audit over one file.
+pub fn run(file: &SourceFile, allow: &mut AllowTracker<'_>, severity: Severity) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code: Vec<_> = file.code_tokens().collect();
+    for (i, tok) in code.iter().enumerate() {
+        if tok.kind != Kind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        if has_safety_comment(file, tok.line) {
+            continue;
+        }
+        if allow.permits(&file.path, file.line_text(tok.line)) {
+            continue;
+        }
+        let site = code
+            .get(i + 1)
+            .map_or("block", |next| match next.text.as_str() {
+                "fn" => "fn",
+                "impl" => "impl",
+                "trait" => "trait",
+                _ => "block",
+            });
+        findings.push(Finding {
+            lint: LINT,
+            file: file.path.clone(),
+            line: tok.line,
+            message: format!(
+                "`unsafe` {site} without a `// SAFETY:` justification in the comment block above it"
+            ),
+            severity,
+        });
+    }
+    findings
+}
+
+/// True when a comment containing a safety marker covers `line` or the
+/// contiguous prologue above it.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    if comment_is_safety(file, line) {
+        return true;
+    }
+    let stop = line.saturating_sub(MAX_LOOKBACK);
+    let mut l = line.saturating_sub(1);
+    while l > stop && l > 0 {
+        if comment_is_safety(file, l) {
+            return true;
+        }
+        if let Some(last) = file.last_code_token_on_line(l) {
+            if matches!(last.text.as_str(), ";" | "{" | "}") {
+                // End of the previous statement: the prologue is over.
+                return false;
+            }
+            // Continuation line (multi-line signature / let-binding) or
+            // an attribute: keep looking.
+        }
+        l -= 1;
+    }
+    false
+}
+
+fn comment_is_safety(file: &SourceFile, line: u32) -> bool {
+    file.comment_on_line(line)
+        .is_some_and(|c| c.text.contains("SAFETY") || c.text.contains("# Safety"))
+}

@@ -1,0 +1,101 @@
+//! CLI for the in-repo static-analysis suite.
+//!
+//! ```text
+//! cargo run -p pmcmc-analysis -- check                 # lint the workspace
+//! cargo run -p pmcmc-analysis -- check --fix-manifest  # regenerate wire fingerprints
+//! cargo run -p pmcmc-analysis -- check --root PATH     # explicit repo root
+//! ```
+//!
+//! Exits 1 when any error-severity finding is emitted (warnings alone
+//! keep the exit code 0), 2 on usage or I/O failures.
+
+use pmcmc_analysis::diag::Severity;
+use std::env;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("pmcmc-analysis: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut fix_manifest = false;
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--fix-manifest" => fix_manifest = true,
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path argument")?;
+                root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unrecognised argument `{other}`\n{USAGE}")),
+        }
+    }
+    if command != Some("check") {
+        return Err(format!("expected the `check` subcommand\n{USAGE}"));
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => discover_root()
+            .ok_or("no analysis.toml found walking up from the current directory; pass --root")?,
+    };
+    let cfg = pmcmc_analysis::load_config(&root).map_err(|e| e.to_string())?;
+    let outcome =
+        pmcmc_analysis::run_check(&root, &cfg, fix_manifest).map_err(|e| e.to_string())?;
+
+    for finding in &outcome.findings {
+        println!("{finding}");
+    }
+    let errors = outcome.errors();
+    let warnings = outcome
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn)
+        .count();
+    if fix_manifest {
+        println!(
+            "wire manifest regenerated; {} files scanned, {errors} errors, {warnings} warnings",
+            outcome.files_scanned
+        );
+    } else {
+        println!(
+            "analysis: {} files scanned, {errors} errors, {warnings} warnings",
+            outcome.files_scanned
+        );
+    }
+    Ok(if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Walks up from the current directory looking for `analysis.toml`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir: &Path = &env::current_dir().ok()?;
+    let owned = dir.to_path_buf();
+    dir = &owned;
+    loop {
+        if dir.join("analysis.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        dir = dir.parent()?;
+    }
+}
+
+const USAGE: &str = "usage: pmcmc-analysis check [--fix-manifest] [--root PATH]";

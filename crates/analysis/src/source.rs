@@ -1,0 +1,233 @@
+//! A lexed source file plus the derived views the lints share: per-line
+//! code shape, comment coverage, and `#[cfg(test)]` / `#[test]` region
+//! detection (so test-only code can opt out of production-path lints).
+
+use crate::lexer::{lex, Kind, Token};
+
+/// One workspace source file, lexed once and queried by every lint.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across hosts;
+    /// allowlist entries match against it).
+    pub path: String,
+    /// Raw source lines (1-based access via [`SourceFile::line_text`]).
+    pub lines: Vec<String>,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Line ranges (1-based, inclusive) of test-only code.
+    test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes `src` as the contents of `path`.
+    #[must_use]
+    pub fn new(path: impl Into<String>, src: &str) -> Self {
+        let tokens = lex(src);
+        let test_regions = find_test_regions(&tokens);
+        Self {
+            path: path.into(),
+            lines: src.lines().map(str::to_owned).collect(),
+            tokens,
+            test_regions,
+        }
+    }
+
+    /// The raw text of 1-based line `line` (empty for out-of-range).
+    #[must_use]
+    pub fn line_text(&self, line: u32) -> &str {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map_or("", String::as_str)
+    }
+
+    /// True when `line` lies inside a `#[cfg(test)]` module or a
+    /// `#[test]` function.
+    #[must_use]
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Code tokens only (comments stripped).
+    pub fn code_tokens(&self) -> impl Iterator<Item = &Token> {
+        self.tokens.iter().filter(|t| t.is_code())
+    }
+
+    /// The comment token covering `line`, if any (block comments cover
+    /// every line they span).
+    #[must_use]
+    pub fn comment_on_line(&self, line: u32) -> Option<&Token> {
+        self.tokens
+            .iter()
+            .filter(|t| t.kind == Kind::Comment)
+            .find(|t| t.line <= line && line <= t.end_line)
+    }
+
+    /// The last code token starting on `line`, if any.
+    #[must_use]
+    pub fn last_code_token_on_line(&self, line: u32) -> Option<&Token> {
+        self.tokens.iter().rfind(|t| t.is_code() && t.line == line)
+    }
+
+    /// True when no code token starts on `line`.
+    #[must_use]
+    pub fn line_is_code_free(&self, line: u32) -> bool {
+        self.last_code_token_on_line(line).is_none()
+    }
+}
+
+/// Finds `#[cfg(test)]` and `#[test]` attributed items and returns the
+/// line spans of their bodies (attribute line through closing brace).
+///
+/// The recognizer is deliberately literal: it matches the exact forms
+/// this workspace uses (`#[cfg(test)]` on a module or item, `#[test]` on
+/// a function). An attributed item with no body (`#[cfg(test)] use …;`)
+/// contributes only its own lines.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| t.is_code()).collect();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(next) = match_test_attribute(&code, i) {
+            let start_line = code[i].line;
+            let end_line = item_end_line(&code, next);
+            regions.push((start_line, end_line));
+            // Resume after the attribute itself; nested attributes inside
+            // the region are subsumed by the span check.
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// Matches `#[cfg(test)]` or `#[test]` starting at code-token index `i`;
+/// returns the index just past the closing `]`.
+fn match_test_attribute(code: &[&Token], i: usize) -> Option<usize> {
+    let tok = |k: usize| code.get(i + k).map(|t| t.text.as_str());
+    if tok(0) != Some("#") || tok(1) != Some("[") {
+        return None;
+    }
+    if tok(2) == Some("test") && tok(3) == Some("]") {
+        return Some(i + 4);
+    }
+    if tok(2) == Some("cfg")
+        && tok(3) == Some("(")
+        && tok(4) == Some("test")
+        && tok(5) == Some(")")
+        && tok(6) == Some("]")
+    {
+        return Some(i + 7);
+    }
+    None
+}
+
+/// The last line of the item starting at code-token index `i`: scans to
+/// the item's opening `{` (or a terminating `;` first — bodiless item)
+/// and brace-matches to its close.
+fn item_end_line(code: &[&Token], i: usize) -> u32 {
+    let mut j = i;
+    // Skip any further attributes on the same item.
+    while j < code.len() {
+        if code[j].text == "#" && code.get(j + 1).is_some_and(|t| t.text == "[") {
+            let mut depth = 0i32;
+            j += 1;
+            while j < code.len() {
+                match code[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // Find the body's `{`, bailing on `;` (no body).
+    while j < code.len() {
+        match code[j].text.as_str() {
+            ";" => return code[j].line,
+            "{" => break,
+            _ => j += 1,
+        }
+    }
+    if j >= code.len() {
+        return code.last().map_or(0, |t| t.end_line);
+    }
+    let mut depth = 0i32;
+    while j < code.len() {
+        match code[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return code[j].line;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    code.last().map_or(0, |t| t.end_line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let src = "\
+fn live() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        live();
+    }
+}
+";
+        let f = SourceFile::new("x.rs", src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(3));
+        assert!(f.in_test_region(7));
+        assert!(f.in_test_region(9));
+    }
+
+    #[test]
+    fn test_fn_outside_module_is_a_region() {
+        let src = "\
+fn live() {}
+#[test]
+fn standalone() {
+    live();
+}
+fn also_live() {}
+";
+        let f = SourceFile::new("x.rs", src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(4));
+        assert!(!f.in_test_region(6));
+    }
+
+    #[test]
+    fn bodiless_attributed_item_spans_only_itself() {
+        let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+fn live() {}
+";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.in_test_region(2));
+        assert!(!f.in_test_region(3));
+    }
+}

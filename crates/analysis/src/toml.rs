@@ -1,0 +1,374 @@
+//! A minimal TOML-subset reader, just enough for `analysis.toml` and the
+//! wire manifest: `[section]` and `[[array.of.tables]]` headers, string /
+//! integer scalars, and (possibly multi-line) arrays of strings. No
+//! dependencies, consistent with the offline `crates/compat` policy.
+
+use std::collections::BTreeMap;
+
+/// A scalar or string-list value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `key = "text"`
+    Str(String),
+    /// `key = 42`
+    Int(i64),
+    /// `key = ["a", "b"]`
+    List(Vec<String>),
+}
+
+impl Value {
+    /// The string payload, if this is a [`Value::Str`].
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this is a [`Value::List`].
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[String]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// One `[header]`'s worth of keys.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed document: tables in file order. `[x]` appears once;
+/// `[[x.y]]` repeats its header for every element.
+#[derive(Debug, Default)]
+pub struct Document {
+    tables: Vec<(String, Table)>,
+}
+
+impl Document {
+    /// The first table with `header` (for singleton `[x]` sections).
+    #[must_use]
+    pub fn table(&self, header: &str) -> Option<&Table> {
+        self.tables
+            .iter()
+            .find(|(h, _)| h == header)
+            .map(|(_, t)| t)
+    }
+
+    /// Every table with `header`, in file order (for `[[x.y]]` arrays).
+    #[must_use]
+    pub fn tables(&self, header: &str) -> Vec<&Table> {
+        self.tables
+            .iter()
+            .filter(|(h, _)| h == header)
+            .map(|(_, t)| t)
+            .collect()
+    }
+}
+
+/// Parse failure: message plus 1-based line.
+#[derive(Debug)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parses `src`.
+///
+/// # Errors
+/// [`ParseError`] on any construct outside the supported subset.
+pub fn parse(src: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::default();
+    // Keys before any header land in the root table "".
+    let mut current: (String, Table) = (String::new(), Table::new());
+    let mut started = false;
+    let lines: Vec<&str> = src.lines().collect();
+    let mut i = 0usize;
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = strip_comment(lines[i]);
+        let line = line.trim();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            if started || !current.1.is_empty() {
+                doc.tables.push(current);
+            }
+            current = (header.trim().to_owned(), Table::new());
+            started = true;
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            if started || !current.1.is_empty() {
+                doc.tables.push(current);
+            }
+            current = (header.trim().to_owned(), Table::new());
+            started = true;
+            continue;
+        }
+        let Some(eq) = find_unquoted(line, '=') else {
+            return Err(ParseError {
+                message: format!("expected `key = value`, got `{line}`"),
+                line: lineno,
+            });
+        };
+        let key = line[..eq].trim().to_owned();
+        let mut rest = line[eq + 1..].trim().to_owned();
+        // Multi-line arrays: accumulate until brackets balance.
+        while rest.starts_with('[') && bracket_balance(&rest) > 0 {
+            if i >= lines.len() {
+                return Err(ParseError {
+                    message: format!("unterminated array for key `{key}`"),
+                    line: lineno,
+                });
+            }
+            rest.push(' ');
+            rest.push_str(strip_comment(lines[i]).trim());
+            i += 1;
+        }
+        let value = parse_value(&rest).map_err(|message| ParseError {
+            message,
+            line: lineno,
+        })?;
+        current.1.insert(key, value);
+    }
+    if started || !current.1.is_empty() {
+        doc.tables.push(current);
+    }
+    Ok(doc)
+}
+
+/// Drops a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Index of `needle` outside any quoted string.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (idx, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            _ if c == needle && !in_str => return Some(idx),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Net `[`/`]` depth outside strings (positive ⇒ still open).
+fn bracket_balance(s: &str) -> i32 {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[').and_then(|t| t.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(v) => items.push(v),
+                _ => return Err(format!("only string arrays are supported, got `{part}`")),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("unterminated string `{s}`"));
+        };
+        return Ok(Value::Str(unescape(body)));
+    }
+    if let Ok(v) = s.parse::<i64>() {
+        return Ok(Value::Int(v));
+    }
+    Err(format!("unsupported value `{s}`"))
+}
+
+/// Splits an array body on top-level commas (strings respected).
+fn split_top_level(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in body.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => {
+                cur.push(c);
+                escaped = true;
+            }
+            '"' => {
+                cur.push(c);
+                in_str = !in_str;
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_scalars_and_arrays() {
+        let doc = parse(
+            r#"
+top = "root"
+
+[lints]
+unsafe_audit = "error"  # trailing comment
+count = 3
+
+[determinism]
+paths = [
+    "crates/core/src/",   # with comments
+    "crates/parallel/src/engine.rs",
+]
+"#,
+        )
+        .expect("parses");
+        assert_eq!(
+            doc.table("")
+                .and_then(|t| t.get("top"))
+                .and_then(Value::as_str),
+            Some("root")
+        );
+        let lints = doc.table("lints").expect("lints");
+        assert_eq!(
+            lints.get("unsafe_audit").and_then(Value::as_str),
+            Some("error")
+        );
+        assert_eq!(lints.get("count").and_then(Value::as_int), Some(3));
+        let det = doc.table("determinism").expect("determinism");
+        assert_eq!(
+            det.get("paths")
+                .and_then(Value::as_list)
+                .map(<[String]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn table_arrays_repeat() {
+        let doc = parse(
+            r#"
+[[atomics.allow]]
+file = "a.rs"
+reason = "r1 with # inside string"
+
+[[atomics.allow]]
+file = "b.rs"
+reason = "r2"
+"#,
+        )
+        .expect("parses");
+        let allows = doc.tables("atomics.allow");
+        assert_eq!(allows.len(), 2);
+        assert_eq!(
+            allows[0].get("reason").and_then(Value::as_str),
+            Some("r1 with # inside string")
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(parse("key = { inline = 1 }").is_err());
+        assert!(parse("just a line").is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Workspace file discovery: every `.rs` file under the repo root,
+//! minus build output, VCS metadata, the vendored compat stubs and the
+//! deliberately-violating lint fixtures.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned regardless of configuration.
+const ALWAYS_SKIP_DIRS: &[&str] = &["target", ".git"];
+
+/// Path prefixes never scanned regardless of configuration: the compat
+/// crates are stand-ins for external dependencies (not this repo's
+/// conventions to enforce), and the fixtures exist to violate the lints.
+const ALWAYS_SKIP_PREFIXES: &[&str] = &["crates/compat/", "crates/analysis/tests/fixtures/"];
+
+/// Collects workspace-relative `/`-separated paths of all `.rs` sources
+/// under `root`, skipping `extra_skip` prefixes. Sorted for stable
+/// output.
+///
+/// # Errors
+/// Propagates directory-walk failures.
+pub fn collect_sources(root: &Path, extra_skip: &[String]) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, extra_skip, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, extra_skip: &[String], out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = relative(root, &path);
+        if path.is_dir() {
+            if ALWAYS_SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            let rel_dir = format!("{rel}/");
+            if skip_prefixed(&rel_dir, extra_skip) {
+                continue;
+            }
+            walk(root, &path, extra_skip, out)?;
+        } else if name.ends_with(".rs") && !skip_prefixed(&rel, extra_skip) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn skip_prefixed(rel: &str, extra_skip: &[String]) -> bool {
+    ALWAYS_SKIP_PREFIXES.iter().any(|p| rel.starts_with(p))
+        || extra_skip.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+fn relative(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,29 @@
+// Fixture: Release/Acquire publication, Relaxed confined to imports and
+// test regions. Expected atomics findings: 0.
+
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+pub static PAYLOAD: AtomicU64 = AtomicU64::new(0);
+
+pub fn publish(value: u64) {
+    PAYLOAD.store(value, Ordering::Release);
+    READY.store(true, Ordering::Release);
+}
+
+pub fn consume() -> Option<u64> {
+    READY
+        .load(Ordering::Acquire)
+        .then(|| PAYLOAD.load(Ordering::Acquire))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_in_tests_may_relax() {
+        PAYLOAD.fetch_add(1, Relaxed);
+    }
+}

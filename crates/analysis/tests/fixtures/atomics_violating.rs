@@ -1,0 +1,12 @@
+// Fixture: Relaxed used to publish shared data. Expected atomics
+// findings (empty allowlist): 2.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+pub static PAYLOAD: AtomicU64 = AtomicU64::new(0);
+
+pub fn publish(value: u64) {
+    PAYLOAD.store(value, Ordering::Relaxed);
+    READY.store(true, Ordering::Relaxed);
+}

@@ -1,0 +1,17 @@
+// Fixture: deterministic collections and seeded randomness only.
+// Expected determinism findings: 0.
+
+use std::collections::BTreeMap;
+
+pub fn ordered_iteration() -> Vec<u64> {
+    let mut m = BTreeMap::new();
+    m.insert(1u64, 2u64);
+    m.values().copied().collect()
+}
+
+pub fn seeded_stream(seed: u64) -> u64 {
+    // The string below must not trip the scanner: "Instant::now() and
+    // HashMap are spelled here only inside a literal".
+    let banner = "no Instant::now(), no HashMap";
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ banner.len() as u64
+}

@@ -1,0 +1,25 @@
+// Fixture: banned identifiers in a sampling-path scope.
+// Expected determinism findings (full ban list in scope): 4.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn wall_clock_in_hot_path() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn hash_order_iteration() -> Vec<u64> {
+    let mut m = HashMap::new();
+    m.insert(1u64, 2u64);
+    m.values().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let _m = std::collections::HashMap::<u32, u32>::new();
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,27 @@
+// Fixture: token-scanner traps. A naive scanner reports phantom
+// `unsafe` / `Relaxed` / `unwrap` sites here; the real one must report
+// nothing (expected findings across all lints: 0).
+
+pub fn strings_and_comments() -> Vec<&'static str> {
+    /* block comment mentioning unsafe { *p } and Ordering::Relaxed
+       /* nested: still one comment, still mentioning .unwrap() */
+       end of outer */
+    vec![
+        "plain string with unsafe { } inside",
+        "escaped quote \" then unsafe again",
+        r"raw string: Ordering::Relaxed and a trailing backslash \",
+        r#"hash-raw: .unwrap() and "quoted" unsafe"#,
+        r##"double-hash: "# not a terminator "# but this is"##,
+        concat!("split ", "unsafe ", "tokens"),
+    ]
+}
+
+pub fn char_and_lifetime_soup<'unsafe_looking>(s: &'unsafe_looking str) -> (char, char, usize) {
+    let quote = '\'';
+    let brace = '{';
+    (quote, brace, s.len())
+}
+
+pub fn byte_strings() -> (&'static [u8], u8) {
+    (b"bytes with unsafe inside", b'u')
+}

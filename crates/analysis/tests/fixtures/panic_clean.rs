@@ -1,0 +1,34 @@
+// Fixture: typed error propagation, plus the identifier edge cases the
+// lint must not fire on. Expected panic-audit findings: 0.
+
+use std::io;
+use std::net::TcpStream;
+
+pub fn connect(addr: &str) -> io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}
+
+pub fn heartbeat(stream: &TcpStream) -> io::Result<std::net::SocketAddr> {
+    stream.peer_addr()
+}
+
+// `unwrap` as part of a longer identifier, or not a method call, is fine.
+pub fn unwrap_or_default_is_not_unwrap(v: Option<u64>) -> u64 {
+    v.unwrap_or_default()
+}
+
+pub fn expect_is_just_a_name() -> u64 {
+    let expect = 7u64;
+    expect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(unwrap_or_default_is_not_unwrap(None), 0);
+        let _ = connect("127.0.0.1:1").map(|s| heartbeat(&s).unwrap());
+    }
+}

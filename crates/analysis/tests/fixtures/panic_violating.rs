@@ -1,0 +1,12 @@
+// Fixture: unwrap/expect in a long-running service path. Expected
+// panic-audit findings (file under an audited path, empty allowlist): 2.
+
+use std::net::TcpStream;
+
+pub fn connect(addr: &str) -> TcpStream {
+    TcpStream::connect(addr).unwrap()
+}
+
+pub fn heartbeat(stream: &TcpStream) -> std::net::SocketAddr {
+    stream.peer_addr().expect("peer address")
+}

@@ -1,0 +1,34 @@
+// Fixture: every unsafe site justified. Expected unsafe-audit findings: 0.
+
+pub fn block_with_comment(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn trailing_comment(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller guarantees `p` is valid for reads.
+}
+
+/// Docs for the contract-carrying function.
+///
+/// # Safety
+/// `p` must be valid for writes and properly aligned.
+#[inline]
+pub unsafe fn fn_with_contract(p: *mut u8) {
+    // SAFETY: the fn-level contract covers exactly this write.
+    unsafe { *p = 0 };
+}
+
+pub fn multi_line_binding(p: *const u64) -> u64 {
+    // SAFETY: a multi-line let-continuation must still find this comment,
+    // like the transmute binding in pool.rs.
+    let value: u64 =
+        unsafe { *p };
+    value
+}
+
+// SAFETY: no shared mutable state behind the wrapper; the marker trait
+// adds no capabilities beyond what the field already permits.
+unsafe impl Send for Wrapper {}
+
+pub struct Wrapper(pub *const u8);

@@ -1,0 +1,18 @@
+// Fixture: unsafe sites with missing or out-of-reach justifications.
+// Expected unsafe-audit findings: 3.
+
+pub fn block_without_comment(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn fn_without_contract(p: *mut u8) {
+    // SAFETY: this inner comment justifies the body's op, not the fn.
+    unsafe { *p = 0 };
+}
+
+pub fn comment_cut_off_by_statement(p: *const u8) -> u8 {
+    // SAFETY: this justification belongs to the first site only.
+    let a = unsafe { *p };
+    let b = unsafe { *p };
+    a + b
+}

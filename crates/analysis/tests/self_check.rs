@@ -1,0 +1,35 @@
+//! The live workspace must pass its own analysis: `cargo test` proves
+//! the same invariant CI enforces via `cargo run -p pmcmc-analysis --
+//! check`, so a violation is caught at test time even before CI runs.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_passes_the_analysis_suite() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let cfg = pmcmc_analysis::load_config(&root).expect("analysis.toml loads");
+    let outcome = pmcmc_analysis::run_check(&root, &cfg, false).expect("check runs");
+    assert!(
+        outcome.files_scanned > 50,
+        "workspace scan looks implausibly small ({} files)",
+        outcome.files_scanned
+    );
+    let rendered: Vec<String> = outcome.findings.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        outcome.errors(),
+        0,
+        "the workspace no longer passes its own static analysis:\n{}",
+        rendered.join("\n")
+    );
+    // Warnings (e.g. stale allowlist entries) should also stay at zero in
+    // a healthy tree; surface them without failing the suite louder than
+    // the message below.
+    assert!(
+        outcome.findings.is_empty(),
+        "analysis warnings present:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,0 +1,149 @@
+//! The wire-format guard's failure modes, driven end to end through
+//! fingerprinting + the pure `check` comparison on synthetic wire
+//! modules — including the headline case: editing an encoder without
+//! bumping `WIRE_VERSION` must fail.
+
+use pmcmc_analysis::diag::Severity;
+use pmcmc_analysis::fingerprint_source;
+use pmcmc_analysis::lints::wire_guard::{check, declared_wire_version, Manifest};
+use pmcmc_analysis::source::SourceFile;
+
+const PATH: &str = "crates/runtime/src/wire.rs";
+
+const BASE: &str = r#"
+//! Toy wire module.
+pub const WIRE_VERSION: u8 = 3;
+
+pub fn encode(x: u32) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION];
+    out.extend_from_slice(&x.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn golden_bytes_v3() {
+        assert_eq!(super::encode(7), vec![3, 7, 0, 0, 0]);
+    }
+}
+"#;
+
+fn version_of(src: &str) -> i64 {
+    declared_wire_version(&SourceFile::new(PATH, src)).expect("WIRE_VERSION present")
+}
+
+fn manifest_for(src: &str) -> Manifest {
+    Manifest {
+        wire_version: version_of(src),
+        files: vec![fingerprint_source(PATH, src)],
+    }
+}
+
+fn run_check(manifest: &Manifest, src: &str) -> Vec<String> {
+    check(
+        manifest,
+        &[fingerprint_source(PATH, src)],
+        version_of(src),
+        PATH,
+        Severity::Error,
+    )
+    .into_iter()
+    .map(|f| f.message)
+    .collect()
+}
+
+#[test]
+fn unchanged_file_passes() {
+    assert!(run_check(&manifest_for(BASE), BASE).is_empty());
+}
+
+#[test]
+fn comment_and_formatting_edits_do_not_trip_the_guard() {
+    let reformatted = BASE
+        .replace(
+            "//! Toy wire module.",
+            "//! Toy wire module, now documented at length.",
+        )
+        .replace(
+            "    out.extend_from_slice(&x.to_le_bytes());",
+            "    // widened on the wire\n    out.extend_from_slice(  &x.to_le_bytes()  );",
+        );
+    assert!(run_check(&manifest_for(BASE), &reformatted).is_empty());
+}
+
+#[test]
+fn encoder_edit_without_version_bump_fails() {
+    let edited = BASE.replace(
+        "out.extend_from_slice(&x.to_le_bytes());",
+        "out.push(0xAB);",
+    );
+    let messages = run_check(&manifest_for(BASE), &edited);
+    assert_eq!(messages.len(), 1, "{messages:?}");
+    assert!(messages[0].contains("bump WIRE_VERSION"), "{messages:?}");
+}
+
+#[test]
+fn encoder_edit_with_bump_but_stale_goldens_fails() {
+    let edited = BASE
+        .replace("WIRE_VERSION: u8 = 3", "WIRE_VERSION: u8 = 4")
+        .replace(
+            "out.extend_from_slice(&x.to_le_bytes());",
+            "out.push(0xAB);",
+        );
+    let messages = run_check(&manifest_for(BASE), &edited);
+    assert_eq!(messages.len(), 1, "{messages:?}");
+    assert!(
+        messages[0].contains("golden-bytes test region is unchanged"),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn coordinated_edit_needs_only_a_manifest_regen() {
+    let edited = BASE
+        .replace("WIRE_VERSION: u8 = 3", "WIRE_VERSION: u8 = 4")
+        .replace(
+            "out.extend_from_slice(&x.to_le_bytes());",
+            "out.push(0xAB);",
+        )
+        .replace("vec![3, 7, 0, 0, 0]", "vec![4, 0xAB]")
+        .replace("golden_bytes_v3", "golden_bytes_v4");
+    let messages = run_check(&manifest_for(BASE), &edited);
+    assert_eq!(messages.len(), 1, "{messages:?}");
+    assert!(messages[0].contains("stale"), "{messages:?}");
+    // …and after regenerating, the guard is green again.
+    assert!(run_check(&manifest_for(&edited), &edited).is_empty());
+}
+
+#[test]
+fn version_bump_alone_leaves_goldens_unpinned() {
+    // The version constant lives in the encoder region, so a bare bump is
+    // itself an encoder change — and the goldens still encode the old
+    // version byte.
+    let edited = BASE.replace("WIRE_VERSION: u8 = 3", "WIRE_VERSION: u8 = 4");
+    let messages = run_check(&manifest_for(BASE), &edited);
+    assert_eq!(messages.len(), 1, "{messages:?}");
+    assert!(
+        messages[0].contains("golden-bytes test region is unchanged"),
+        "{messages:?}"
+    );
+}
+
+#[test]
+fn version_bump_with_goldens_updated_requires_only_a_regen() {
+    let edited = BASE
+        .replace("WIRE_VERSION: u8 = 3", "WIRE_VERSION: u8 = 4")
+        .replace("vec![3, 7, 0, 0, 0]", "vec![4, 7, 0, 0, 0]")
+        .replace("golden_bytes_v3", "golden_bytes_v4");
+    let messages = run_check(&manifest_for(BASE), &edited);
+    assert_eq!(messages.len(), 1, "{messages:?}");
+    assert!(messages[0].contains("stale"), "{messages:?}");
+}
+
+#[test]
+fn manifest_round_trips_through_render_and_parse() {
+    let manifest = manifest_for(BASE);
+    let reparsed = Manifest::parse(&manifest.render()).expect("round trip");
+    assert_eq!(manifest, reparsed);
+}

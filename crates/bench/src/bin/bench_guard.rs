@@ -415,7 +415,9 @@ mod tests {
             .iter()
             .all(|(ok, _)| *ok));
         let real = vec![("simd_sum_gain_flips".to_owned(), 60.0)];
-        assert!(check_kernel_rows(&baseline, &real).iter().any(|(ok, _)| !ok));
+        assert!(check_kernel_rows(&baseline, &real)
+            .iter()
+            .any(|(ok, _)| !ok));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! * [`mc3`] — Metropolis-coupled MCMC (§IV related work).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod config;
 pub mod coverage;

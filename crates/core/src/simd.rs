@@ -307,6 +307,7 @@ pub fn sum_gains_where_eq(counts: &[u16], gains: &[f64], target: u16) -> f64 {
         #[cfg(target_arch = "x86_64")]
         if use_vector(cs.len()) {
             record_lanes(cs.len() as u64);
+            // SAFETY: dispatched only when AVX2+BMI2 are detected at runtime.
             sum += sum_masked(gs, unsafe { avx2::eq_mask(cs, target) });
             continue;
         }
@@ -405,10 +406,12 @@ mod avx2 {
 
     /// Packs a 32-bit byte-lane movemask (2 identical bits per `u16`
     /// lane) down to one bit per lane — a single `pext`; the backend is
-    /// only selected when BMI2 is present alongside AVX2.
+    /// only selected when BMI2 is present alongside AVX2. A safe
+    /// `#[target_feature]` fn: the kernels below enable the same feature
+    /// set, so their calls need no `unsafe`.
     #[inline]
-    #[target_feature(enable = "bmi2")]
-    unsafe fn mask16(v: __m256i) -> u64 {
+    #[target_feature(enable = "avx2,bmi2")]
+    fn mask16(v: __m256i) -> u64 {
         u64::from(_pext_u32(_mm256_movemask_epi8(v) as u32, 0x5555_5555))
     }
 
@@ -424,6 +427,10 @@ mod avx2 {
         }
     }
 
+    /// # Safety
+    /// Caller must ensure AVX2 and BMI2 are available on the running CPU
+    /// (the dispatchers check `backend() == Backend::Avx2`, which is only
+    /// set after runtime feature detection).
     #[target_feature(enable = "avx2,bmi2")]
     pub unsafe fn inc_counts(counts: &mut [u16]) -> (u64, u64) {
         let len = counts.len();
@@ -433,9 +440,15 @@ mod avx2 {
         let mut m2 = 0u64;
         let mut i = 0;
         while i + 16 <= len {
-            let p = counts.as_mut_ptr().add(i).cast::<__m256i>();
-            let v = _mm256_add_epi16(_mm256_loadu_si256(p), one);
-            _mm256_storeu_si256(p, v);
+            // SAFETY: `i + 16 <= len`, so lanes `i..i+16` are in bounds
+            // for the unaligned load/store; no other reference aliases
+            // `counts` while the `&mut` is live.
+            let v = unsafe {
+                let p = counts.as_mut_ptr().add(i).cast::<__m256i>();
+                let v = _mm256_add_epi16(_mm256_loadu_si256(p), one);
+                _mm256_storeu_si256(p, v);
+                v
+            };
             m1 |= mask16(_mm256_cmpeq_epi16(v, one)) << i;
             m2 |= mask16(_mm256_cmpeq_epi16(v, two)) << i;
             i += 16;
@@ -444,6 +457,10 @@ mod avx2 {
         (m1 | tail_shl(t1, i), m2 | tail_shl(t2, i))
     }
 
+    /// # Safety
+    /// Caller must ensure AVX2 and BMI2 are available on the running CPU
+    /// (the dispatchers check `backend() == Backend::Avx2`, which is only
+    /// set after runtime feature detection).
     #[target_feature(enable = "avx2,bmi2")]
     pub unsafe fn dec_counts(counts: &mut [u16]) -> (u64, u64) {
         let len = counts.len();
@@ -453,9 +470,15 @@ mod avx2 {
         let mut m1 = 0u64;
         let mut i = 0;
         while i + 16 <= len {
-            let p = counts.as_mut_ptr().add(i).cast::<__m256i>();
-            let v = _mm256_sub_epi16(_mm256_loadu_si256(p), one);
-            _mm256_storeu_si256(p, v);
+            // SAFETY: `i + 16 <= len`, so lanes `i..i+16` are in bounds
+            // for the unaligned load/store; no other reference aliases
+            // `counts` while the `&mut` is live.
+            let v = unsafe {
+                let p = counts.as_mut_ptr().add(i).cast::<__m256i>();
+                let v = _mm256_sub_epi16(_mm256_loadu_si256(p), one);
+                _mm256_storeu_si256(p, v);
+                v
+            };
             m0 |= mask16(_mm256_cmpeq_epi16(v, zero)) << i;
             m1 |= mask16(_mm256_cmpeq_epi16(v, one)) << i;
             i += 16;
@@ -464,6 +487,10 @@ mod avx2 {
         (m0 | tail_shl(t0, i), m1 | tail_shl(t1, i))
     }
 
+    /// # Safety
+    /// Caller must ensure AVX2 and BMI2 are available on the running CPU
+    /// (the dispatchers check `backend() == Backend::Avx2`, which is only
+    /// set after runtime feature detection).
     #[target_feature(enable = "avx2,bmi2")]
     pub unsafe fn eq_mask(counts: &[u16], target: u16) -> u64 {
         let len = counts.len();
@@ -471,13 +498,19 @@ mod avx2 {
         let mut m = 0u64;
         let mut i = 0;
         while i + 16 <= len {
-            let v = _mm256_loadu_si256(counts.as_ptr().add(i).cast::<__m256i>());
+            // SAFETY: `i + 16 <= len` keeps the unaligned 16-lane load
+            // inside the borrowed slice.
+            let v = unsafe { _mm256_loadu_si256(counts.as_ptr().add(i).cast::<__m256i>()) };
             m |= mask16(_mm256_cmpeq_epi16(v, t)) << i;
             i += 16;
         }
         m | tail_shl(super::scalar::eq_mask(&counts[i..], target), i)
     }
 
+    /// # Safety
+    /// Caller must ensure AVX2 and BMI2 are available on the running CPU
+    /// (the dispatchers check `backend() == Backend::Avx2`, which is only
+    /// set after runtime feature detection).
     #[target_feature(enable = "avx2,bmi2")]
     pub unsafe fn range_mask(counts: &[u16], lo: u16, hi: u16) -> u64 {
         let len = counts.len();
@@ -486,7 +519,9 @@ mod avx2 {
         let mut m = 0u64;
         let mut i = 0;
         while i + 16 <= len {
-            let v = _mm256_loadu_si256(counts.as_ptr().add(i).cast::<__m256i>());
+            // SAFETY: `i + 16 <= len` keeps the unaligned 16-lane load
+            // inside the borrowed slice.
+            let v = unsafe { _mm256_loadu_si256(counts.as_ptr().add(i).cast::<__m256i>()) };
             // Unsigned `v >= lo` as `min(v, lo) == lo`; `v <= hi` as
             // `min(v, hi) == v`.
             let ge = mask16(_mm256_cmpeq_epi16(_mm256_min_epu16(v, lo_v), lo_v));
@@ -497,6 +532,10 @@ mod avx2 {
         m | tail_shl(super::scalar::range_mask(&counts[i..], lo, hi), i)
     }
 
+    /// # Safety
+    /// Caller must ensure AVX2 and BMI2 are available on the running CPU
+    /// (the dispatchers check `backend() == Backend::Avx2`, which is only
+    /// set after runtime feature detection).
     #[target_feature(enable = "avx2,bmi2")]
     pub unsafe fn occupancy_masks(counts: &[u16]) -> (u64, u64) {
         let len = counts.len();
@@ -506,7 +545,9 @@ mod avx2 {
         let mut multi = 0u64;
         let mut i = 0;
         while i + 16 <= len {
-            let v = _mm256_loadu_si256(counts.as_ptr().add(i).cast::<__m256i>());
+            // SAFETY: `i + 16 <= len` keeps the unaligned 16-lane load
+            // inside the borrowed slice.
+            let v = unsafe { _mm256_loadu_si256(counts.as_ptr().add(i).cast::<__m256i>()) };
             // Unsigned `v >= t` as `min(v, t) == t`.
             occ |= mask16(_mm256_cmpeq_epi16(_mm256_min_epu16(v, one), one)) << i;
             multi |= mask16(_mm256_cmpeq_epi16(_mm256_min_epu16(v, two), two)) << i;

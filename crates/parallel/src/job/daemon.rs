@@ -55,11 +55,11 @@ impl NodeDaemon {
     /// [`NodeDaemon::local_addr`]).
     ///
     /// # Errors
-    /// Propagates bind failures.
+    /// Propagates bind and worker-thread-spawn failures.
     pub fn bind(addr: impl ToSocketAddrs, workers: usize) -> std::io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            pool: WorkerPool::shared(workers.max(1)),
+            pool: WorkerPool::try_shared(workers.max(1))?,
             capacity: 2,
             heartbeat_every: Duration::from_millis(200),
         })

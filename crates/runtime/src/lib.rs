@@ -26,6 +26,7 @@
 //!   [`wire`] frames between the coordinator and node daemons.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cluster;
 pub mod net;

@@ -42,8 +42,26 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns a pool with `threads` workers (at least 1).
+    ///
+    /// # Panics
+    /// When the OS refuses to spawn a worker thread. Long-running services
+    /// (the node daemon) use [`WorkerPool::try_new`] / [`WorkerPool::try_shared`]
+    /// and surface the failure as an `io::Error` instead.
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        // Panic-audit allowlisted: local drivers have no recovery path for
+        // a machine that cannot spawn threads at startup.
+        Self::try_new(threads).expect("failed to spawn pool worker")
+    }
+
+    /// Spawns a pool with `threads` workers (at least 1), surfacing
+    /// thread-spawn failure as an error instead of panicking. If any
+    /// worker fails to spawn, the already-started workers are shut down
+    /// cleanly before the error is returned.
+    ///
+    /// # Errors
+    /// The `io::Error` from `std::thread::Builder::spawn`.
+    pub fn try_new(threads: usize) -> std::io::Result<Self> {
         let threads = threads.max(1);
         let (sender, receiver): (Sender<Job>, Receiver<Job>) = unbounded();
         let tasks = Arc::new(AtomicU64::new(0));
@@ -51,7 +69,7 @@ impl WorkerPool {
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
             let rx = receiver.clone();
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("pmcmc-worker-{i}"))
                 .spawn(move || {
                     // Task/busy accounting happens inside the job itself
@@ -62,27 +80,51 @@ impl WorkerPool {
                     while let Ok(job) = rx.recv() {
                         job();
                     }
-                })
-                .expect("failed to spawn pool worker");
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Partially spawned: close the queue so the started
+                    // workers exit, join them, then report the failure.
+                    drop(sender);
+                    drop(receiver);
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
         }
-        Self {
+        Ok(Self {
             sender: Some(sender),
             handles,
             threads,
             tasks,
             busy_nanos: busy,
             batches: AtomicU64::new(0),
-        }
+        })
     }
 
     /// Spawns a pool wrapped in an [`Arc`] — the shape the job engine
     /// shares one pool across concurrently running jobs. Batches from
     /// different threads interleave safely: each `run_batch` call collects
     /// results on its own private channel.
+    ///
+    /// # Panics
+    /// As [`WorkerPool::new`]; see [`WorkerPool::try_shared`].
     #[must_use]
     pub fn shared(threads: usize) -> Arc<Self> {
         Arc::new(Self::new(threads))
+    }
+
+    /// Fallible variant of [`WorkerPool::shared`] for long-running
+    /// services that must report startup failure over their control
+    /// channel rather than die.
+    ///
+    /// # Errors
+    /// The `io::Error` from `std::thread::Builder::spawn`.
+    pub fn try_shared(threads: usize) -> std::io::Result<Arc<Self>> {
+        Ok(Arc::new(Self::try_new(threads)?))
     }
 
     /// Number of worker threads.
